@@ -1,0 +1,58 @@
+// Figure 1: FOBS percentage of maximum available bandwidth as a
+// function of the acknowledgement frequency, on the short-haul
+// (ANL->LCSE, ~26 ms RTT) and long-haul (ANL->CACR, ~65 ms RTT) paths.
+//
+// Paper result: ~90% of the available bandwidth on both connections at
+// well-chosen ack frequencies, degraded at very small ones (the
+// receiver stalls building ACKs and drops packets) and slightly at very
+// large ones (the sender's view goes stale).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "exp/report.h"
+#include "exp/runner.h"
+
+int main() {
+  using namespace fobs;
+  const auto seeds = exp::default_seeds(benchutil::seed_count_from_env());
+  const std::vector<std::int64_t> frequencies = {1,  2,   4,   8,    16,   32,  64,
+                                                 128, 256, 512, 1024, 2048, 4096};
+
+  util::TextTable table({"ack frequency", "short haul (% max bw)", "long haul (% max bw)"});
+  std::printf("Figure 1 reproduction: 40 MB object, 1024 B packets, %zu seed(s)/point\n",
+              seeds.size());
+  std::printf("Paper: ~90%% of max bandwidth on both paths at good ack frequencies.\n");
+
+  const auto short_spec = exp::spec_for(exp::PathId::kShortHaul);
+  const auto long_spec = exp::spec_for(exp::PathId::kLongHaul);
+
+  exp::PlotSpec plot;
+  plot.name = "fig1_ack_frequency";
+  plot.title = "Figure 1: FOBS % of max bandwidth vs. ack frequency";
+  plot.xlabel = "acknowledgement frequency (packets)";
+  plot.ylabel = "% of maximum available bandwidth";
+  plot.log_x = true;
+  plot.series = {{"short haul", {}}, {"long haul", {}}};
+
+  for (const std::int64_t f : frequencies) {
+    exp::FobsRunParams params;
+    params.ack_frequency = f;
+    const auto short_avg = exp::run_fobs_averaged(short_spec, params, seeds);
+    const auto long_avg = exp::run_fobs_averaged(long_spec, params, seeds);
+    table.add_row({std::to_string(f), util::TextTable::pct(short_avg.fraction),
+                   util::TextTable::pct(long_avg.fraction)});
+    plot.xs.push_back(static_cast<double>(f));
+    plot.series[0].ys.push_back(100 * short_avg.fraction);
+    plot.series[1].ys.push_back(100 * long_avg.fraction);
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  benchutil::emit(table, "Figure 1: FOBS bandwidth vs. acknowledgement frequency");
+  if (const auto dir = exp::plot_dir_from_env(); !dir.empty()) {
+    std::printf("%s gnuplot files to %s/\n",
+                exp::write_plot(dir, plot) ? "wrote" : "FAILED writing", dir.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 2: wasted network resources — (packets sent - packets needed)
+// / packets needed — as a function of the acknowledgement frequency.
+//
+// Paper result: roughly 3% of the total data transferred at reasonable
+// acknowledgement frequencies; waste rises when the receiver stalls
+// (tiny frequencies, loss-driven retransmits) and when the sender's
+// view goes stale (huge frequencies, blind retransmits).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "exp/report.h"
+#include "exp/runner.h"
+
+int main() {
+  using namespace fobs;
+  const auto seeds = exp::default_seeds(benchutil::seed_count_from_env());
+  const std::vector<std::int64_t> frequencies = {1,  2,   4,   8,    16,   32,  64,
+                                                 128, 256, 512, 1024, 2048, 4096};
+
+  util::TextTable table({"ack frequency", "short haul waste", "long haul waste"});
+  std::printf("Figure 2 reproduction: 40 MB object, 1024 B packets, %zu seed(s)/point\n",
+              seeds.size());
+  std::printf("Paper: ~3%% waste at reasonable acknowledgement frequencies.\n");
+
+  const auto short_spec = exp::spec_for(exp::PathId::kShortHaul);
+  const auto long_spec = exp::spec_for(exp::PathId::kLongHaul);
+
+  exp::PlotSpec plot;
+  plot.name = "fig2_wasted_resources";
+  plot.title = "Figure 2: wasted network resources vs. ack frequency";
+  plot.xlabel = "acknowledgement frequency (packets)";
+  plot.ylabel = "wasted resources (%)";
+  plot.log_x = true;
+  plot.series = {{"short haul", {}}, {"long haul", {}}};
+
+  for (const std::int64_t f : frequencies) {
+    exp::FobsRunParams params;
+    params.ack_frequency = f;
+    const auto short_avg = exp::run_fobs_averaged(short_spec, params, seeds);
+    const auto long_avg = exp::run_fobs_averaged(long_spec, params, seeds);
+    table.add_row({std::to_string(f), util::TextTable::pct(short_avg.waste),
+                   util::TextTable::pct(long_avg.waste)});
+    plot.xs.push_back(static_cast<double>(f));
+    plot.series[0].ys.push_back(100 * short_avg.waste);
+    plot.series[1].ys.push_back(100 * long_avg.waste);
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  benchutil::emit(table, "Figure 2: wasted network resources vs. acknowledgement frequency");
+  if (const auto dir = exp::plot_dir_from_env(); !dir.empty()) {
+    std::printf("%s gnuplot files to %s/\n",
+                exp::write_plot(dir, plot) ? "wrote" : "FAILED writing", dir.c_str());
+  }
+  return 0;
+}

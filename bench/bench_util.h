@@ -1,0 +1,40 @@
+// Shared helpers for the table/figure reproduction binaries.
+//
+// Each binary prints (a) the paper's reported numbers and (b) our
+// measured values, as aligned text tables. Set FOBS_BENCH_SEEDS=<n> to
+// change how many simulated runs are averaged per row (default 3), and
+// FOBS_BENCH_CSV=1 to emit CSV after the table.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+
+namespace fobs::benchutil {
+
+inline int seed_count_from_env(int fallback = 3) {
+  const char* env = std::getenv("FOBS_BENCH_SEEDS");
+  if (env == nullptr) return fallback;
+  const int n = std::atoi(env);
+  return n > 0 ? n : fallback;
+}
+
+inline bool csv_from_env() {
+  const char* env = std::getenv("FOBS_BENCH_CSV");
+  return env != nullptr && env[0] == '1';
+}
+
+inline void emit(const fobs::util::TextTable& table, const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+  table.print(std::cout);
+  if (csv_from_env()) {
+    std::cout << "\n-- CSV --\n";
+    table.print_csv(std::cout);
+  }
+  std::cout.flush();
+}
+
+}  // namespace fobs::benchutil

@@ -1,0 +1,50 @@
+// Congestion-adaptive FOBS (paper §7 extension) in action.
+//
+// Runs plain and adaptive FOBS on an overloaded shared path and shows
+// what the greediness controller trades: a little throughput for a lot
+// less waste and far friendlier behaviour toward competing traffic.
+#include <cstdio>
+
+#include "exp/runner.h"
+
+namespace {
+
+void run_variant(const fobs::exp::TestbedSpec& spec, bool adaptive) {
+  using namespace fobs;
+  exp::Testbed bed(spec, 7);
+  exp::FobsRunParams params;
+  params.adaptive.enabled = adaptive;
+  const auto result = core::run_sim_transfer(bed.network(), bed.src(), bed.dst(),
+                                             exp::make_fobs_config(params));
+
+  std::uint64_t cross_offered = 0;
+  for (const auto& src : bed.cross_sources()) cross_offered += src->stats().packets_sent;
+  const double cross_delivered =
+      cross_offered > 0 ? static_cast<double>(bed.cross_sink().packets_received()) /
+                              static_cast<double>(cross_offered)
+                        : 0.0;
+
+  std::printf("\n%s\n", adaptive ? "FOBS with adaptive greediness (extension)"
+                                 : "Plain greedy FOBS (as published)");
+  std::printf("  throughput:        %.1f Mb/s (%.1f%% of max)\n", result.goodput_mbps,
+              100.0 * result.fraction_of(spec.max_bandwidth));
+  std::printf("  wasted resources:  %.1f%%\n", 100.0 * result.waste);
+  std::printf("  competing traffic delivered: %.1f%%\n", 100.0 * cross_delivered);
+  std::printf("  bottleneck overflow drops:   %llu\n",
+              static_cast<unsigned long long>(bed.backbone().stats().drops_overflow));
+}
+
+}  // namespace
+
+int main() {
+  using namespace fobs;
+  auto spec = exp::spec_for(exp::PathId::kGigabitContended);
+  spec.cross_sources = 8;
+  spec.cross_peak = util::DataRate::megabits_per_second(150);
+
+  std::printf("Overloaded GigE/OC-12 path: 8 bursty sources, avg ~%.0f Mb/s of cross traffic\n",
+              8 * spec.cross_peak.mbps() * 0.2);
+  run_variant(spec, /*adaptive=*/false);
+  run_variant(spec, /*adaptive=*/true);
+  return 0;
+}

@@ -1,0 +1,189 @@
+// fobsd — a minimal FOBS file server over real sockets.
+//
+//   fobsd serve <dir> <port>                 # serve files from <dir>
+//   fobsd fetch <host> <port> <name> <out>   # fetch one file
+//   fobsd demo                               # serve+fetch in one process
+//
+// Protocol: the client opens a TCP "catalog" connection to <port> and
+// sends one request line:  "<name> <client-udp-port>\n". The server
+// replies "<size> <control-port>\n" (size -1 = not found), then pushes
+// the file with a FOBS transfer: data to the client's UDP port, the
+// completion signal accepted on <control-port>. Transfers are served
+// one at a time — fobsd is a demonstration of embedding the library in
+// a service, not a production daemon.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fobs/object.h"
+#include "fobs/posix/posix_transfer.h"
+
+namespace {
+
+bool send_line(int fd, const std::string& line) {
+  return ::send(fd, line.data(), line.size(), 0) == static_cast<ssize_t>(line.size());
+}
+
+std::string recv_line(int fd) {
+  std::string line;
+  char ch = 0;
+  while (line.size() < 512 && ::recv(fd, &ch, 1, 0) == 1) {
+    if (ch == '\n') return line;
+    line.push_back(ch);
+  }
+  return line;
+}
+
+bool name_is_safe(const std::string& name) {
+  if (name.empty() || name.front() == '/') return false;
+  return name.find("..") == std::string::npos;
+}
+
+int run_server(const std::string& dir, std::uint16_t port, int max_requests = -1) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = INADDR_ANY;
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listener, 4) != 0) {
+    std::perror("fobsd: bind/listen");
+    return 1;
+  }
+  std::printf("fobsd: serving %s on port %u\n", dir.c_str(), port);
+
+  int served = 0;
+  while (max_requests < 0 || served < max_requests) {
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof peer;
+    const int conn = ::accept(listener, reinterpret_cast<sockaddr*>(&peer), &peer_len);
+    if (conn < 0) continue;
+    const std::string request = recv_line(conn);
+    const auto space = request.find(' ');
+    const std::string name = request.substr(0, space);
+    const int client_port = space == std::string::npos
+                                ? 0
+                                : std::atoi(request.c_str() + space + 1);
+    char client_host[64] = {0};
+    ::inet_ntop(AF_INET, &peer.sin_addr, client_host, sizeof client_host);
+
+    auto object = name_is_safe(name)
+                      ? fobs::core::TransferObject::map_file(dir + "/" + name)
+                      : std::nullopt;
+    if (!object || client_port <= 0) {
+      send_line(conn, "-1 0\n");
+      ::close(conn);
+      ++served;
+      continue;
+    }
+    const std::uint16_t control_port = static_cast<std::uint16_t>(port + 1);
+    send_line(conn,
+              std::to_string(object->size()) + " " + std::to_string(control_port) + "\n");
+    ::close(conn);  // catalog exchange done; the transfer takes over
+
+    fobs::posix::SenderOptions opts;
+    opts.receiver_host = client_host;
+    opts.data_port = static_cast<std::uint16_t>(client_port);
+    opts.control_port = control_port;
+    const auto result = fobs::posix::send_object(opts, object->view());
+    std::printf("fobsd: %s -> %s:%d  %s (%.0f Mb/s, waste %.2f%%)\n", name.c_str(),
+                client_host, client_port, result.completed ? "ok" : "FAILED",
+                result.goodput_mbps, 100.0 * result.waste);
+    ++served;
+  }
+  ::close(listener);
+  return 0;
+}
+
+int run_fetch(const std::string& host, std::uint16_t port, const std::string& name,
+              const std::string& out_path, std::uint16_t data_port) {
+  const int conn = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr);
+  // The server may still be starting (demo mode): retry briefly.
+  int attempts = 0;
+  while (::connect(conn, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (++attempts > 100) {
+      std::perror("fobsd: connect");
+      return 1;
+    }
+    ::usleep(20'000);
+  }
+  send_line(conn, name + " " + std::to_string(data_port) + "\n");
+  const std::string reply = recv_line(conn);
+  ::close(conn);
+  long long size = -1;
+  int control_port = 0;
+  std::sscanf(reply.c_str(), "%lld %d", &size, &control_port);
+  if (size < 0 || control_port <= 0) {
+    std::printf("fobsd: server refused '%s'\n", name.c_str());
+    return 1;
+  }
+
+  std::vector<std::uint8_t> buffer(static_cast<std::size_t>(size));
+  fobs::posix::ReceiverOptions opts;
+  opts.sender_host = host;
+  opts.data_port = data_port;
+  opts.control_port = static_cast<std::uint16_t>(control_port);
+  const auto result = fobs::posix::receive_object(opts, std::span<std::uint8_t>(buffer));
+  if (!result.completed) {
+    std::printf("fobsd: fetch failed: %s\n", result.error.c_str());
+    return 1;
+  }
+  auto object = fobs::core::TransferObject::from_vector(std::move(buffer));
+  if (!object.write_to_file(out_path)) {
+    std::printf("fobsd: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("fobsd: fetched %s (%lld bytes, %.0f Mb/s, checksum %016llx)\n", name.c_str(),
+              size, result.goodput_mbps,
+              static_cast<unsigned long long>(object.checksum()));
+  return 0;
+}
+
+int run_demo() {
+  // Stage a file, serve it from a background thread, fetch it back.
+  const std::string dir = "/tmp/fobsd_demo";
+  (void)::system(("mkdir -p " + dir).c_str());
+  auto original = fobs::core::TransferObject::pattern(8 * 1024 * 1024, 0xF0B5D);
+  if (!original.write_to_file(dir + "/dataset.bin")) return 1;
+
+  std::thread server([&] { run_server(dir, 39100, /*max_requests=*/1); });
+  const int rc = run_fetch("127.0.0.1", 39100, "dataset.bin", dir + "/fetched.bin", 39200);
+  server.join();
+  if (rc != 0) return rc;
+
+  const auto fetched = fobs::core::TransferObject::map_file(dir + "/fetched.bin");
+  const bool ok = fetched && fetched->checksum() == original.checksum();
+  std::printf("fobsd demo: content %s\n", ok ? "verified" : "MISMATCH");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "demo";
+  if (mode == "demo") return run_demo();
+  if (mode == "serve" && argc == 4) {
+    return run_server(argv[2], static_cast<std::uint16_t>(std::atoi(argv[3])));
+  }
+  if (mode == "fetch" && argc == 6) {
+    return run_fetch(argv[2], static_cast<std::uint16_t>(std::atoi(argv[3])), argv[4],
+                     argv[5], /*data_port=*/39200);
+  }
+  std::printf("usage:\n  %s demo\n  %s serve <dir> <port>\n  %s fetch <host> <port> <name> <out>\n",
+              argv[0], argv[0], argv[0]);
+  return 2;
+}

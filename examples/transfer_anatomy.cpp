@@ -1,0 +1,86 @@
+// Anatomy of a FOBS transfer: attach a packet tracer to the bottleneck
+// and a throughput probe to the receiver, run one lossy long-haul
+// transfer, and print a timeline — where the drops happened and how the
+// goodput evolved.
+//
+//   ./transfer_anatomy [ack_frequency]
+#include <cstdio>
+#include <cstdlib>
+
+#include "exp/runner.h"
+#include "fobs/sim_driver.h"
+#include "sim/flow_stats.h"
+#include "sim/packet_trace.h"
+
+int main(int argc, char** argv) {
+  using namespace fobs;
+  const std::int64_t ack_frequency = argc > 1 ? std::atoll(argv[1]) : 1;
+
+  auto spec = exp::spec_for(exp::PathId::kShortHaul);
+  exp::Testbed bed(spec, 21);
+
+  sim::PacketTrace backbone_trace;
+  bed.backbone().set_observer(&backbone_trace);
+
+  core::TransferSpec transfer{16 * 1024 * 1024, 1024};
+  core::SenderConfig sender_config;
+  core::ReceiverConfig receiver_config;
+  receiver_config.ack_frequency = ack_frequency;
+
+  core::SimSender sender(bed.src(), transfer, sender_config, nullptr, bed.dst().id());
+  core::SimReceiver receiver(bed.dst(), transfer, receiver_config, nullptr, bed.src().id(),
+                             64 * 1024);
+
+  // Goodput probe: unique packets at the receiver, sampled every 100 ms.
+  sim::TimeSeriesProbe goodput(bed.sim(), "received", util::Duration::milliseconds(100),
+                               [&receiver] {
+                                 return static_cast<double>(
+                                     receiver.core().stats().packets_received);
+                               });
+  // Socket-drop probe: the Figure 1 mechanism, live.
+  sim::TimeSeriesProbe drops(bed.sim(), "socket-drops", util::Duration::milliseconds(100),
+                             [&receiver] { return static_cast<double>(receiver.socket_drops()); });
+
+  bool done = false;
+  sender.set_on_finished([&done] { done = true; });
+  receiver.start();
+  sender.start();
+  while (!done && bed.sim().now().seconds() < 120 && bed.sim().step()) {
+  }
+
+  std::printf("FOBS transfer anatomy (short haul, ack frequency %lld)\n",
+              static_cast<long long>(ack_frequency));
+  std::printf("finished: %s in %.2f s; sent %lld for %lld needed (waste %.1f%%)\n",
+              done ? "yes" : "NO", bed.sim().now().seconds(),
+              static_cast<long long>(sender.core().stats().packets_sent),
+              static_cast<long long>(transfer.packet_count()),
+              100.0 * sender.core().waste());
+  std::printf("backbone: %llu delivered, %llu random drops, %llu overflow drops\n",
+              static_cast<unsigned long long>(
+                  backbone_trace.count(sim::TraceEvent::Kind::kDelivered)),
+              static_cast<unsigned long long>(
+                  backbone_trace.count(sim::TraceEvent::Kind::kDropRandom)),
+              static_cast<unsigned long long>(
+                  backbone_trace.count(sim::TraceEvent::Kind::kDropOverflow)));
+  std::printf("receiver socket-buffer drops: %llu\n\n",
+              static_cast<unsigned long long>(receiver.socket_drops()));
+
+  std::printf("timeline (100 ms buckets): received packets | new socket drops\n");
+  double prev_received = 0;
+  double prev_drops = 0;
+  for (std::size_t i = 0; i < goodput.samples().size(); ++i) {
+    const double received = goodput.samples()[i].value;
+    const double dropped = i < drops.samples().size() ? drops.samples()[i].value : prev_drops;
+    const auto bar = static_cast<int>((received - prev_received) / 40.0);
+    std::printf("t=%4.1fs %6.0f new ", goodput.samples()[i].when.seconds(),
+                received - prev_received);
+    for (int b = 0; b < bar && b < 60; ++b) std::printf("#");
+    if (dropped > prev_drops) std::printf("   (+%.0f drops)", dropped - prev_drops);
+    std::printf("\n");
+    prev_received = received;
+    prev_drops = dropped;
+  }
+  std::printf("\nTip: run with ack frequency 64 to see the drop column vanish and the\n"
+              "bars reach the 100 Mb/s ceiling (the Figure 1 story, one bucket at a time).\n");
+  return done ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+#include "baselines/tcp_bulk.h"
+
+#include <memory>
+
+namespace fobs::baselines {
+
+fobs::net::TcpConfig tcp_with_lwe() {
+  fobs::net::TcpConfig config;
+  config.window_scaling = true;
+  config.sack_enabled = true;
+  config.recv_buffer_bytes = 4 * 1024 * 1024;  // plenty for a 65 ms BDP
+  return config;
+}
+
+fobs::net::TcpConfig tcp_without_lwe() {
+  fobs::net::TcpConfig config;
+  config.window_scaling = false;   // advertised window capped at 64 KiB
+  config.sack_enabled = false;     // stock pre-extension stack
+  config.recv_buffer_bytes = 64 * 1024;
+  return config;
+}
+
+TcpTransferResult run_tcp_transfer(fobs::sim::Network& network, Host& src, Host& dst,
+                                   std::int64_t bytes, const fobs::net::TcpConfig& config,
+                                   Duration timeout) {
+  using fobs::net::TcpConnection;
+  using fobs::net::TcpListener;
+
+  auto& sim = network.sim();
+  const auto start = sim.now();
+  const auto deadline = start + timeout;
+  constexpr fobs::sim::PortId kPort = 5001;  // iperf's favourite
+
+  std::unique_ptr<TcpConnection> server;
+  bool done = false;
+  fobs::util::TimePoint done_at;
+
+  TcpListener listener(dst, kPort, config, [&](std::unique_ptr<TcpConnection> conn) {
+    server = std::move(conn);
+    server->set_on_delivered([&](fobs::net::Seq delivered) {
+      if (!done && delivered >= bytes) {
+        done = true;
+        done_at = sim.now();
+      }
+    });
+  });
+
+  TcpConnection client(src, config);
+  client.set_on_connected([&] { client.offer_bytes(bytes); });
+  client.connect(dst.id(), kPort);
+
+  while (!done && sim.now() < deadline && sim.step()) {
+  }
+
+  TcpTransferResult result;
+  result.completed = done;
+  result.retransmissions = client.stats().retransmissions;
+  result.timeouts = client.stats().timeouts;
+  result.fast_retransmits = client.stats().fast_retransmits;
+  if (done) {
+    result.elapsed = done_at - start;
+    result.goodput_mbps =
+        fobs::util::rate_of(fobs::util::DataSize::bytes(bytes), result.elapsed).mbps();
+  }
+  return result;
+}
+
+}  // namespace fobs::baselines

@@ -1,0 +1,44 @@
+// Single-stream TCP bulk transfer (the paper's Table 1 baseline).
+//
+// Runs one TcpConnection across an existing topology and measures the
+// time until the receiver has delivered every byte in order. The Large
+// Window Extensions case is just `TcpConfig::window_scaling = true` with
+// a receive buffer larger than 64 KiB.
+#pragma once
+
+#include <cstdint>
+
+#include "host/host.h"
+#include "net/tcp.h"
+#include "sim/node.h"
+
+namespace fobs::baselines {
+
+using fobs::host::Host;
+using fobs::util::DataRate;
+using fobs::util::Duration;
+
+struct TcpTransferResult {
+  bool completed = false;
+  Duration elapsed = Duration::zero();
+  double goodput_mbps = 0.0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t fast_retransmits = 0;
+
+  [[nodiscard]] double fraction_of(DataRate max) const {
+    if (max.is_zero()) return 0.0;
+    return goodput_mbps * 1e6 / max.bps();
+  }
+};
+
+/// Transfers `bytes` from `src` to `dst` over one TCP connection.
+TcpTransferResult run_tcp_transfer(fobs::sim::Network& network, Host& src, Host& dst,
+                                   std::int64_t bytes, const fobs::net::TcpConfig& config,
+                                   Duration timeout = Duration::seconds(600));
+
+/// Convenience: the paper's two configurations.
+[[nodiscard]] fobs::net::TcpConfig tcp_with_lwe();
+[[nodiscard]] fobs::net::TcpConfig tcp_without_lwe();
+
+}  // namespace fobs::baselines

@@ -1,0 +1,73 @@
+// Fixed-capacity bitmap over packet sequence numbers.
+//
+// This is the data structure the FOBS paper describes: "one byte (or even
+// one bit) allocated per data packet ... tracks the received/not received
+// status of every packet to be received". We use one bit per packet, with
+// 64-bit words and popcount for O(n/64) scans.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace fobs::util {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  /// Creates a bitmap of `size` bits, all clear.
+  explicit Bitmap(std::size_t size);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Sets bit `i`; returns true when the bit was previously clear
+  /// (i.e. this call changed state). Precondition: i < size().
+  bool set(std::size_t i);
+  /// Clears bit `i`; returns true when the bit was previously set.
+  bool clear(std::size_t i);
+  [[nodiscard]] bool test(std::size_t i) const;
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const { return set_count_; }
+  [[nodiscard]] bool all_set() const { return set_count_ == size_; }
+  [[nodiscard]] bool none_set() const { return set_count_ == 0; }
+
+  /// Index of the first clear bit at or after `from`, if any.
+  [[nodiscard]] std::optional<std::size_t> first_clear(std::size_t from = 0) const;
+  /// Index of the first set bit at or after `from`, if any.
+  [[nodiscard]] std::optional<std::size_t> first_set(std::size_t from = 0) const;
+  /// First clear bit searching circularly from `from` (wraps past the
+  /// end). Returns nullopt when all bits are set.
+  [[nodiscard]] std::optional<std::size_t> first_clear_circular(std::size_t from) const;
+  /// Number of set bits in [begin, end). Precondition: begin<=end<=size.
+  [[nodiscard]] std::size_t count_in_range(std::size_t begin, std::size_t end) const;
+
+  void clear_all();
+  void set_all();
+
+  /// Copies bits [begin, end) into a packed little-endian byte buffer,
+  /// bit 0 of byte 0 holding bit `begin`. Used by the ACK codec.
+  [[nodiscard]] std::vector<std::uint8_t> extract_range(std::size_t begin,
+                                                        std::size_t end) const;
+  /// ORs packed bits (format of `extract_range`) into [begin, begin+nbits).
+  /// Returns the number of bits that transitioned clear -> set.
+  std::size_t merge_range(std::size_t begin, std::size_t nbits,
+                          const std::uint8_t* packed, std::size_t packed_len);
+
+  [[nodiscard]] bool operator==(const Bitmap& other) const;
+
+ private:
+  [[nodiscard]] static std::size_t word_of(std::size_t i) { return i >> 6; }
+  [[nodiscard]] static std::uint64_t mask_of(std::size_t i) {
+    return std::uint64_t{1} << (i & 63);
+  }
+
+  std::size_t size_ = 0;
+  std::size_t set_count_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace fobs::util

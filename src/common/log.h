@@ -1,0 +1,39 @@
+// Leveled logging with near-zero cost when disabled.
+//
+// Simulations are chatty; logging defaults to `kWarn` so benchmark runs
+// stay quiet. Tests and examples may raise the level for debugging.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fobs::util {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+[[nodiscard]] bool log_enabled(LogLevel level);
+
+/// Emits one line to stderr: "[level] component: message".
+void log_line(LogLevel level, const std::string& component, const std::string& message);
+
+}  // namespace fobs::util
+
+// Stream-style logging macro; the message expression is not evaluated
+// when the level is disabled.
+#define FOBS_LOG(level, component, expr)                                  \
+  do {                                                                    \
+    if (::fobs::util::log_enabled(level)) {                               \
+      std::ostringstream fobs_log_oss_;                                   \
+      fobs_log_oss_ << expr;                                              \
+      ::fobs::util::log_line(level, component, fobs_log_oss_.str());      \
+    }                                                                     \
+  } while (0)
+
+#define FOBS_TRACE(component, expr) FOBS_LOG(::fobs::util::LogLevel::kTrace, component, expr)
+#define FOBS_DEBUG(component, expr) FOBS_LOG(::fobs::util::LogLevel::kDebug, component, expr)
+#define FOBS_INFO(component, expr) FOBS_LOG(::fobs::util::LogLevel::kInfo, component, expr)
+#define FOBS_WARN(component, expr) FOBS_LOG(::fobs::util::LogLevel::kWarn, component, expr)
+#define FOBS_ERROR(component, expr) FOBS_LOG(::fobs::util::LogLevel::kError, component, expr)

@@ -1,0 +1,59 @@
+// Fixed-capacity single-threaded ring buffer.
+//
+// Used for bounded queues inside the simulator (socket buffers, NIC
+// queues) where the bound itself is the model: a full buffer means the
+// packet is dropped, exactly like a full kernel socket buffer.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace fobs::util {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : buf_(capacity) { assert(capacity > 0); }
+
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == buf_.size(); }
+
+  /// Appends an element; returns false (and drops it) when full.
+  bool push(T value) {
+    if (full()) return false;
+    buf_[(head_ + size_) % buf_.size()] = std::move(value);
+    ++size_;
+    return true;
+  }
+
+  /// Removes and returns the oldest element. Precondition: !empty().
+  T pop() {
+    assert(!empty());
+    T value = std::move(buf_[head_]);
+    head_ = (head_ + 1) % buf_.size();
+    --size_;
+    return value;
+  }
+
+  /// Oldest element without removing it. Precondition: !empty().
+  [[nodiscard]] const T& front() const {
+    assert(!empty());
+    return buf_[head_];
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace fobs::util

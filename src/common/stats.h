@@ -1,0 +1,90 @@
+// Small statistics toolkit used by the experiment harness and tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fobs::util {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+/// O(1) memory; numerically stable for long runs.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  /// Mean of the samples; 0 when empty.
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Population variance; 0 with fewer than two samples.
+  [[nodiscard]] double variance() const;
+  /// Sample (n-1) variance; 0 with fewer than two samples.
+  [[nodiscard]] double sample_variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const OnlineStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores all samples; supports exact quantiles. Use for modest sample
+/// counts (experiment outputs), not per-packet hot paths.
+class SampleSet {
+ public:
+  void add(double x);
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Exact quantile by linear interpolation, q in [0, 1]. Requires a
+  /// non-empty set. Sorts lazily.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples are clamped
+/// into the first/last bin and counted separately.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] double bin_lower(std::size_t i) const;
+  [[nodiscard]] double bin_upper(std::size_t i) const { return bin_lower(i + 1); }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+}  // namespace fobs::util

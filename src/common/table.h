@@ -1,0 +1,42 @@
+// Plain-text aligned table and CSV writers for experiment output.
+//
+// The benchmark binaries print the same rows/series the paper reports;
+// this formatter keeps those tables readable in a terminal and emits a
+// machine-readable CSV alongside when asked.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fobs::util {
+
+class TextTable {
+ public:
+  /// Sets the header row. Column count is fixed by this call.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with columns padded to the widest cell.
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+  /// Renders as RFC-4180-ish CSV (cells containing comma/quote/newline
+  /// are quoted, embedded quotes doubled).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Formats a double with `digits` decimal places.
+  static std::string num(double v, int digits = 2);
+  /// Formats a fraction in [0,1] as a percentage string like "89.7%".
+  static std::string pct(double fraction, int digits = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fobs::util

@@ -1,0 +1,50 @@
+#include "common/units.h"
+
+#include <cstdio>
+
+namespace fobs::util {
+
+namespace {
+
+std::string format_double(double v, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f%s", v, suffix);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_string(Duration d) {
+  const std::int64_t ns = d.ns();
+  const std::int64_t abs_ns = ns < 0 ? -ns : ns;
+  if (abs_ns >= 1'000'000'000) return format_double(d.seconds(), " s");
+  if (abs_ns >= 1'000'000) return format_double(static_cast<double>(ns) / 1e6, " ms");
+  if (abs_ns >= 1'000) return format_double(static_cast<double>(ns) / 1e3, " us");
+  return std::to_string(ns) + " ns";
+}
+
+std::string to_string(TimePoint t) { return format_double(t.seconds(), " s"); }
+
+std::string to_string(DataSize s) {
+  const std::int64_t b = s.bytes();
+  const std::int64_t abs_b = b < 0 ? -b : b;
+  if (abs_b >= 1024 * 1024) return format_double(s.megabytes(), " MiB");
+  if (abs_b >= 1024) return format_double(s.kilobytes(), " KiB");
+  return std::to_string(b) + " B";
+}
+
+std::string to_string(DataRate r) {
+  const double bps = r.bps();
+  const double abs_bps = bps < 0 ? -bps : bps;
+  if (abs_bps >= 1e9) return format_double(bps / 1e9, " Gb/s");
+  if (abs_bps >= 1e6) return format_double(bps / 1e6, " Mb/s");
+  if (abs_bps >= 1e3) return format_double(bps / 1e3, " Kb/s");
+  return format_double(bps, " b/s");
+}
+
+std::ostream& operator<<(std::ostream& os, Duration d) { return os << to_string(d); }
+std::ostream& operator<<(std::ostream& os, TimePoint t) { return os << to_string(t); }
+std::ostream& operator<<(std::ostream& os, DataSize s) { return os << to_string(s); }
+std::ostream& operator<<(std::ostream& os, DataRate r) { return os << to_string(r); }
+
+}  // namespace fobs::util

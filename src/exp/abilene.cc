@@ -1,0 +1,266 @@
+#include "exp/abilene.h"
+
+#include <cassert>
+
+namespace fobs::exp {
+
+using fobs::host::Host;
+using fobs::host::HostConfig;
+using fobs::sim::LinkConfig;
+using fobs::util::Rng;
+
+const char* to_string(AbilenePop pop) {
+  switch (pop) {
+    case AbilenePop::kSeattle: return "STTL";
+    case AbilenePop::kSunnyvale: return "SNVA";
+    case AbilenePop::kLosAngeles: return "LOSA";
+    case AbilenePop::kDenver: return "DNVR";
+    case AbilenePop::kKansasCity: return "KSCY";
+    case AbilenePop::kHouston: return "HSTN";
+    case AbilenePop::kIndianapolis: return "IPLS";
+    case AbilenePop::kAtlanta: return "ATLA";
+    case AbilenePop::kCleveland: return "CLEV";
+    case AbilenePop::kNewYork: return "NYCM";
+    case AbilenePop::kWashington: return "WASH";
+  }
+  return "?";
+}
+
+const char* to_string(Site site) {
+  switch (site) {
+    case Site::kAnl: return "ANL";
+    case Site::kLcse: return "LCSE";
+    case Site::kCacr: return "CACR";
+    case Site::kNcsa: return "NCSA";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr double kOc48Mbps = 2488.0;
+constexpr std::int64_t kBackboneQueueBytes = 8 * 1024 * 1024;
+
+constexpr int pop_index(AbilenePop pop) { return static_cast<int>(pop); }
+
+}  // namespace
+
+AbileneNetwork::AbileneNetwork(std::uint64_t seed) : rng_(seed) {
+  network_ = std::make_unique<fobs::sim::Network>(sim_);
+  build_backbone(seed);
+  attach_sites();
+  install_routes();
+}
+
+void AbileneNetwork::build_backbone(std::uint64_t seed) {
+  (void)seed;
+  auto& net = *network_;
+  for (int i = 0; i < kAbilenePopCount; ++i) {
+    pops_[static_cast<std::size_t>(i)] =
+        &net.add_router(to_string(static_cast<AbilenePop>(i)));
+    pop_sinks_.push_back(
+        &net.add_blackhole(std::string(to_string(static_cast<AbilenePop>(i))) + "-sink"));
+  }
+
+  // 2002 Abilene OC-48 segments with approximate one-way delays.
+  using P = AbilenePop;
+  const std::vector<PopLink> segments = {
+      {pop_index(P::kSeattle), pop_index(P::kSunnyvale), Duration::milliseconds(9)},
+      {pop_index(P::kSeattle), pop_index(P::kDenver), Duration::milliseconds(13)},
+      {pop_index(P::kSunnyvale), pop_index(P::kLosAngeles), Duration::milliseconds(4)},
+      {pop_index(P::kSunnyvale), pop_index(P::kDenver), Duration::milliseconds(11)},
+      {pop_index(P::kLosAngeles), pop_index(P::kHouston), Duration::milliseconds(15)},
+      {pop_index(P::kDenver), pop_index(P::kKansasCity), Duration::milliseconds(6)},
+      {pop_index(P::kKansasCity), pop_index(P::kHouston), Duration::milliseconds(8)},
+      {pop_index(P::kKansasCity), pop_index(P::kIndianapolis), Duration::milliseconds(6)},
+      {pop_index(P::kHouston), pop_index(P::kAtlanta), Duration::milliseconds(9)},
+      {pop_index(P::kIndianapolis), pop_index(P::kAtlanta), Duration::milliseconds(6)},
+      {pop_index(P::kIndianapolis), pop_index(P::kCleveland), Duration::milliseconds(4)},
+      {pop_index(P::kAtlanta), pop_index(P::kWashington), Duration::milliseconds(7)},
+      {pop_index(P::kCleveland), pop_index(P::kNewYork), Duration::milliseconds(5)},
+      {pop_index(P::kNewYork), pop_index(P::kWashington), Duration::milliseconds(3)},
+  };
+
+  auto add_direction = [&](int from, int to, Duration delay) {
+    LinkConfig cfg;
+    cfg.name = std::string(to_string(static_cast<AbilenePop>(from))) + "->" +
+               to_string(static_cast<AbilenePop>(to));
+    cfg.rate = DataRate::megabits_per_second(kOc48Mbps);
+    cfg.propagation_delay = delay;
+    cfg.queue_capacity_bytes = kBackboneQueueBytes;
+    auto& link = network_->add_link(cfg);
+    link.set_sink(pops_[static_cast<std::size_t>(to)]);
+    links_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)] = &link;
+  };
+  for (const auto& segment : segments) {
+    add_direction(segment.a, segment.b, segment.delay);
+    add_direction(segment.b, segment.a, segment.delay);
+  }
+
+  // All-pairs shortest paths by delay (Floyd–Warshall; 11 nodes).
+  constexpr auto kInf = Duration::max();
+  for (int i = 0; i < kAbilenePopCount; ++i) {
+    for (int j = 0; j < kAbilenePopCount; ++j) {
+      pop_delay_[i][j] = i == j ? Duration::zero() : kInf;
+      next_hop_[i][j] = -1;
+    }
+  }
+  for (const auto& segment : segments) {
+    pop_delay_[segment.a][segment.b] = segment.delay;
+    pop_delay_[segment.b][segment.a] = segment.delay;
+    next_hop_[segment.a][segment.b] = segment.b;
+    next_hop_[segment.b][segment.a] = segment.a;
+  }
+  for (int k = 0; k < kAbilenePopCount; ++k) {
+    for (int i = 0; i < kAbilenePopCount; ++i) {
+      if (pop_delay_[i][k] == kInf) continue;
+      for (int j = 0; j < kAbilenePopCount; ++j) {
+        if (pop_delay_[k][j] == kInf) continue;
+        const Duration through = pop_delay_[i][k] + pop_delay_[k][j];
+        if (through < pop_delay_[i][j]) {
+          pop_delay_[i][j] = through;
+          next_hop_[i][j] = next_hop_[i][k];
+        }
+      }
+    }
+  }
+}
+
+void AbileneNetwork::attach_sites() {
+  using P = AbilenePop;
+  // Access delays are tuned so ANL<->LCSE ~ 26 ms RTT and
+  // ANL<->CACR ~ 65 ms RTT, as measured in the paper.
+  site_specs_ = {
+      {Site::kAnl, P::kIndianapolis, DataRate::megabits_per_second(100),
+       Duration::microseconds(3500), desktop_pc_cpu()},
+      {Site::kLcse, P::kKansasCity, DataRate::gigabits_per_second(1),
+       Duration::microseconds(3500), desktop_pc_cpu()},
+      {Site::kCacr, P::kLosAngeles, DataRate::megabits_per_second(100),
+       Duration::milliseconds(2), fast_server_cpu()},
+      {Site::kNcsa, P::kIndianapolis, DataRate::gigabits_per_second(1),
+       Duration::milliseconds(2), slow_gige_receiver_cpu()},
+  };
+
+  for (const auto& spec : site_specs_) {
+    HostConfig config;
+    config.name = to_string(spec.site);
+    config.cpu = spec.cpu;
+    auto& host = Host::create(*network_, config);
+    auto* pop = pops_[static_cast<std::size_t>(pop_index(spec.attachment))];
+
+    LinkConfig up;
+    up.name = std::string(to_string(spec.site)) + "->pop";
+    up.rate = spec.nic;
+    up.propagation_delay = spec.access_delay;
+    up.queue_capacity_bytes = 256 * 1024;
+    auto& uplink = network_->add_link(up);
+    uplink.set_sink(pop);
+    host.set_egress(&uplink);
+
+    LinkConfig down = up;
+    down.name = std::string("pop->") + to_string(spec.site);
+    auto& downlink = network_->add_link(down);
+    downlink.set_sink(&host);
+    pop->add_route(host.id(), &downlink);
+
+    site_hosts_.push_back(&host);
+  }
+}
+
+void AbileneNetwork::install_routes() {
+  // Every PoP can reach every site host and every PoP sink: forward
+  // toward the destination's attachment PoP along the shortest path.
+  for (int from = 0; from < kAbilenePopCount; ++from) {
+    auto* router = pops_[static_cast<std::size_t>(from)];
+    for (std::size_t s = 0; s < site_specs_.size(); ++s) {
+      const int attach = pop_index(site_specs_[s].attachment);
+      if (attach == from) continue;  // local delivery installed in attach_sites
+      const int next = next_hop_[from][attach];
+      assert(next >= 0);
+      router->add_route(site_hosts_[s]->id(), backbone_link(from, next));
+    }
+    for (int to = 0; to < kAbilenePopCount; ++to) {
+      auto* sink = pop_sinks_[static_cast<std::size_t>(to)];
+      if (to == from) {
+        router->add_route(sink->id(), sink);
+      } else {
+        const int next = next_hop_[from][to];
+        assert(next >= 0);
+        router->add_route(sink->id(), backbone_link(from, next));
+      }
+    }
+  }
+}
+
+fobs::sim::Link* AbileneNetwork::backbone_link(int from, int to) {
+  auto* link = links_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
+  assert(link != nullptr);
+  return link;
+}
+
+Host& AbileneNetwork::site_host(Site site) {
+  for (std::size_t s = 0; s < site_specs_.size(); ++s) {
+    if (site_specs_[s].site == site) return *site_hosts_[s];
+  }
+  assert(false && "unknown site");
+  return *site_hosts_[0];
+}
+
+Duration AbileneNetwork::path_delay(Site a, Site b) const {
+  const SiteSpec* sa = nullptr;
+  const SiteSpec* sb = nullptr;
+  for (const auto& spec : site_specs_) {
+    if (spec.site == a) sa = &spec;
+    if (spec.site == b) sb = &spec;
+  }
+  assert(sa != nullptr && sb != nullptr);
+  return sa->access_delay + pop_delay_[pop_index(sa->attachment)][pop_index(sb->attachment)] +
+         sb->access_delay;
+}
+
+int AbileneNetwork::backbone_hops(Site a, Site b) const {
+  const SiteSpec* sa = nullptr;
+  const SiteSpec* sb = nullptr;
+  for (const auto& spec : site_specs_) {
+    if (spec.site == a) sa = &spec;
+    if (spec.site == b) sb = &spec;
+  }
+  int from = pop_index(sa->attachment);
+  const int to = pop_index(sb->attachment);
+  int hops = 0;
+  while (from != to) {
+    from = next_hop_[from][to];
+    ++hops;
+    assert(hops <= kAbilenePopCount);
+  }
+  return hops;
+}
+
+void AbileneNetwork::add_background_traffic(int flows, DataRate peak, Duration mean_on,
+                                            Duration mean_off) {
+  for (int i = 0; i < flows; ++i) {
+    const int from = static_cast<int>(rng_.uniform_int(0, kAbilenePopCount - 1));
+    int to = static_cast<int>(rng_.uniform_int(0, kAbilenePopCount - 2));
+    if (to >= from) ++to;
+    const int next = next_hop_[from][to];
+    auto source = std::make_unique<fobs::sim::OnOffSource>(
+        sim_, *backbone_link(from, next), network_->next_node_id(),
+        pop_sinks_[static_cast<std::size_t>(to)]->id(), 1000, peak, mean_on, mean_off,
+        rng_.fork());
+    source->start();
+    background_.push_back(std::move(source));
+  }
+}
+
+void AbileneNetwork::set_backbone_loss(double per_fragment_loss) {
+  for (int a = 0; a < kAbilenePopCount; ++a) {
+    for (int b = 0; b < kAbilenePopCount; ++b) {
+      auto* link = links_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+      if (link == nullptr) continue;
+      link->set_loss_model(std::make_unique<fobs::sim::BernoulliLoss>(per_fragment_loss),
+                           rng_.fork());
+    }
+  }
+}
+
+}  // namespace fobs::exp

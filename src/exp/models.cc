@@ -1,0 +1,95 @@
+#include "exp/models.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "fobs/types.h"
+#include "sim/packet.h"
+
+namespace fobs::exp::models {
+
+DataRate tcp_window_limited(DataSize window, Duration rtt) {
+  assert(rtt > Duration::zero());
+  return fobs::util::rate_of(window, rtt);
+}
+
+DataRate tcp_mathis(std::int64_t mss_bytes, Duration rtt, double loss, double c) {
+  assert(loss > 0.0);
+  assert(rtt > Duration::zero());
+  const double bytes_per_second =
+      static_cast<double>(mss_bytes) / rtt.seconds() * c / std::sqrt(loss);
+  return DataRate::bits_per_second(bytes_per_second * 8.0);
+}
+
+Duration slow_start_time(DataSize initial, DataSize target, Duration rtt, double per_rtt) {
+  assert(per_rtt > 1.0);
+  if (initial.bytes() <= 0 || target <= initial) return Duration::zero();
+  const double rtts = std::log(target / initial) / std::log(per_rtt);
+  return rtt * rtts;
+}
+
+DataRate receiver_cpu_ceiling(const fobs::host::CpuModel& cpu, DataSize payload) {
+  const Duration per_packet = cpu.recv_cost(payload);
+  if (per_packet <= Duration::zero()) return DataRate::zero();
+  return fobs::util::rate_of(payload, per_packet);
+}
+
+DataRate receiver_cpu_ceiling_with_acks(const fobs::host::CpuModel& cpu, DataSize payload,
+                                        std::int64_t ack_frequency) {
+  assert(ack_frequency > 0);
+  const Duration per_packet =
+      cpu.recv_cost(payload) + cpu.ack_build / ack_frequency;
+  if (per_packet <= Duration::zero()) return DataRate::zero();
+  return fobs::util::rate_of(payload, per_packet);
+}
+
+DataRate sender_cpu_ceiling(const fobs::host::CpuModel& cpu, DataSize payload) {
+  const Duration per_packet = cpu.send_cost(payload);
+  if (per_packet <= Duration::zero()) return DataRate::zero();
+  return fobs::util::rate_of(payload, per_packet);
+}
+
+FobsPrediction fobs_throughput(DataRate bottleneck, const fobs::host::CpuModel& sender_cpu,
+                               const fobs::host::CpuModel& receiver_cpu,
+                               std::int64_t packet_bytes, std::int64_t ack_frequency) {
+  const DataSize on_host =
+      DataSize::bytes(packet_bytes + fobs::core::kDataHeaderBytes);
+  // Wire carries headers too; goodput over the bottleneck is derated by
+  // the payload share of the wire size.
+  const double payload_share =
+      static_cast<double>(packet_bytes) /
+      static_cast<double>(packet_bytes + fobs::core::kDataHeaderBytes +
+                          fobs::sim::kUdpIpOverheadBytes);
+  const DataRate wire = bottleneck * payload_share;
+  // CPU ceilings move header+payload per syscall, goodput counts
+  // payload only.
+  const double host_share = static_cast<double>(packet_bytes) /
+                            static_cast<double>(on_host.bytes());
+  const DataRate send = sender_cpu_ceiling(sender_cpu, on_host) * host_share;
+  const DataRate recv =
+      receiver_cpu_ceiling_with_acks(receiver_cpu, on_host, ack_frequency) * host_share;
+
+  FobsPrediction prediction;
+  prediction.goodput = std::min({wire, send, recv});
+  if (prediction.goodput == wire) {
+    prediction.constraint = FobsPrediction::Constraint::kWire;
+    prediction.binding_constraint_rate = wire;
+  } else if (prediction.goodput == send) {
+    prediction.constraint = FobsPrediction::Constraint::kSenderCpu;
+    prediction.binding_constraint_rate = send;
+  } else {
+    prediction.constraint = FobsPrediction::Constraint::kReceiverCpu;
+    prediction.binding_constraint_rate = recv;
+  }
+  return prediction;
+}
+
+double endgame_waste_floor(DataRate send_rate, Duration one_way_delay,
+                           std::int64_t object_bytes) {
+  if (object_bytes <= 0) return 0.0;
+  const double stale_bytes = send_rate.bytes_per_second() * one_way_delay.seconds();
+  return stale_bytes / static_cast<double>(object_bytes);
+}
+
+}  // namespace fobs::exp::models

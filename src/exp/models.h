@@ -1,0 +1,66 @@
+// Closed-form performance models.
+//
+// Every headline number in the paper has a back-of-envelope model; this
+// module writes them down so the simulator can be *validated* against
+// them (tests/test_models.cc) and so EXPERIMENTS.md discrepancies can
+// be attributed. All rates are applications-level goodput.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "host/host.h"
+
+namespace fobs::exp::models {
+
+using fobs::util::DataRate;
+using fobs::util::DataSize;
+using fobs::util::Duration;
+
+/// Window-limited TCP throughput: window / RTT (Table 1 without LWE).
+[[nodiscard]] DataRate tcp_window_limited(DataSize window, Duration rtt);
+
+/// Mathis et al. steady-state TCP throughput under random loss p:
+///   rate = MSS / RTT * C / sqrt(p),  C ~ sqrt(3/2) for delayed acks.
+[[nodiscard]] DataRate tcp_mathis(std::int64_t mss_bytes, Duration rtt, double loss,
+                                  double c = 1.22);
+
+/// Time for TCP slow start to grow cwnd from `initial` to `target`
+/// with growth factor `per_rtt` (1.5 with delayed acks, 2 without).
+[[nodiscard]] Duration slow_start_time(DataSize initial, DataSize target, Duration rtt,
+                                       double per_rtt = 1.5);
+
+/// Receive-path CPU ceiling for a UDP protocol: one datagram of
+/// `payload` costs recv_cost(payload); the host can accept at most
+/// payload/recv_cost bytes per second (Figure 3's curve).
+[[nodiscard]] DataRate receiver_cpu_ceiling(const fobs::host::CpuModel& cpu,
+                                            DataSize payload);
+
+/// Same ceiling when every `ack_frequency`-th packet also pays the
+/// ACK-construction stall (Figure 1's left edge).
+[[nodiscard]] DataRate receiver_cpu_ceiling_with_acks(const fobs::host::CpuModel& cpu,
+                                                      DataSize payload,
+                                                      std::int64_t ack_frequency);
+
+/// Send-path CPU ceiling (the Table 2 sender cap).
+[[nodiscard]] DataRate sender_cpu_ceiling(const fobs::host::CpuModel& cpu, DataSize payload);
+
+/// Expected FOBS goodput as the min of wire, sender-CPU, and
+/// receiver-CPU ceilings, derated by the wire overhead per packet.
+struct FobsPrediction {
+  DataRate goodput;
+  DataRate binding_constraint_rate;
+  enum class Constraint { kWire, kSenderCpu, kReceiverCpu } constraint;
+};
+[[nodiscard]] FobsPrediction fobs_throughput(DataRate bottleneck,
+                                             const fobs::host::CpuModel& sender_cpu,
+                                             const fobs::host::CpuModel& receiver_cpu,
+                                             std::int64_t packet_bytes,
+                                             std::int64_t ack_frequency);
+
+/// Greedy-endgame waste floor: a sender whose view lags by `one_way`
+/// keeps re-sending ~rate*one_way packets it cannot know arrived.
+[[nodiscard]] double endgame_waste_floor(DataRate send_rate, Duration one_way_delay,
+                                         std::int64_t object_bytes);
+
+}  // namespace fobs::exp::models

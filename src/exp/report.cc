@@ -1,0 +1,57 @@
+#include "exp/report.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <fstream>
+
+namespace fobs::exp {
+
+std::string plot_dir_from_env() {
+  const char* dir = std::getenv("FOBS_BENCH_PLOT");
+  return dir != nullptr ? dir : "";
+}
+
+bool write_plot(const std::string& dir, const PlotSpec& spec) {
+  assert(!spec.xs.empty());
+  for (const auto& series : spec.series) {
+    assert(series.ys.size() == spec.xs.size());
+    (void)series;
+  }
+
+  const std::string dat_path = dir + "/" + spec.name + ".dat";
+  {
+    std::ofstream dat(dat_path);
+    if (!dat) return false;
+    dat << "# x";
+    for (const auto& series : spec.series) dat << ' ' << series.label;
+    dat << '\n';
+    for (std::size_t i = 0; i < spec.xs.size(); ++i) {
+      dat << spec.xs[i];
+      for (const auto& series : spec.series) dat << ' ' << series.ys[i];
+      dat << '\n';
+    }
+    if (!dat.good()) return false;
+  }
+
+  const std::string gp_path = dir + "/" + spec.name + ".gp";
+  std::ofstream gp(gp_path);
+  if (!gp) return false;
+  gp << "set terminal pngcairo size 800,500\n";
+  gp << "set output '" << spec.name << ".png'\n";
+  gp << "set title '" << spec.title << "'\n";
+  gp << "set xlabel '" << spec.xlabel << "'\n";
+  gp << "set ylabel '" << spec.ylabel << "'\n";
+  gp << "set key bottom right\n";
+  gp << "set grid\n";
+  if (spec.log_x) gp << "set logscale x 2\n";
+  gp << "plot ";
+  for (std::size_t s = 0; s < spec.series.size(); ++s) {
+    if (s > 0) gp << ", ";
+    gp << "'" << spec.name << ".dat' using 1:" << s + 2 << " with linespoints title '"
+       << spec.series[s].label << "'";
+  }
+  gp << '\n';
+  return gp.good();
+}
+
+}  // namespace fobs::exp

@@ -1,0 +1,35 @@
+// Plot-ready output: writes .dat series and a matching gnuplot script
+// so every figure bench can regenerate a visual of its curve.
+//
+// Benches call this when FOBS_BENCH_PLOT=<dir> is set; the user then
+// runs `gnuplot <dir>/<name>.gp` to render a PNG.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fobs::exp {
+
+struct PlotSeries {
+  std::string label;
+  std::vector<double> ys;
+};
+
+struct PlotSpec {
+  std::string name;        ///< file stem, e.g. "fig1_ack_frequency"
+  std::string title;
+  std::string xlabel;
+  std::string ylabel;
+  bool log_x = false;
+  std::vector<double> xs;
+  std::vector<PlotSeries> series;
+};
+
+/// Writes <dir>/<name>.dat and <dir>/<name>.gp. Returns false on I/O
+/// failure (missing directory, permissions).
+bool write_plot(const std::string& dir, const PlotSpec& spec);
+
+/// Directory from FOBS_BENCH_PLOT, empty when unset.
+[[nodiscard]] std::string plot_dir_from_env();
+
+}  // namespace fobs::exp

@@ -1,0 +1,41 @@
+// Parallel parameter-sweep engine.
+//
+// Every simulation run is an independent, deterministic function of its
+// parameters and seed, so sweeps parallelize embarrassingly well: each
+// worker owns a whole Simulation. The engine preserves input order in
+// the output regardless of completion order.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace fobs::exp {
+
+/// Runs `fn(param)` for each parameter across a thread pool and returns
+/// the results in input order.
+template <typename Param, typename Result>
+std::vector<Result> sweep(const std::vector<Param>& params,
+                          const std::function<Result(const Param&)>& fn,
+                          std::size_t threads = 0) {
+  fobs::util::ThreadPool pool(threads);
+  std::vector<Result> results(params.size());
+  pool.parallel_for(params.size(),
+                    [&](std::size_t i) { results[i] = fn(params[i]); });
+  return results;
+}
+
+/// Cartesian product helper for two-axis sweeps.
+template <typename A, typename B>
+std::vector<std::pair<A, B>> grid(const std::vector<A>& as, const std::vector<B>& bs) {
+  std::vector<std::pair<A, B>> out;
+  out.reserve(as.size() * bs.size());
+  for (const A& a : as) {
+    for (const B& b : bs) out.emplace_back(a, b);
+  }
+  return out;
+}
+
+}  // namespace fobs::exp

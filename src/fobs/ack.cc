@@ -1,0 +1,64 @@
+#include "fobs/ack.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fobs::core {
+
+AckBuilder::AckBuilder(std::int64_t packet_count, std::int64_t max_payload_bytes)
+    : packet_count_(packet_count),
+      fragment_bits_(std::max<std::int64_t>(0, (max_payload_bytes - kAckHeaderBytes) * 8)) {
+  assert(packet_count_ >= 0);
+}
+
+AckMessage AckBuilder::build(const fobs::util::Bitmap& received, PacketSeq frontier,
+                             std::int64_t total_received) {
+  assert(static_cast<std::int64_t>(received.size()) == packet_count_);
+  AckMessage ack;
+  ack.ack_no = next_ack_no_++;
+  ack.total_received = total_received;
+  ack.frontier = frontier;
+  ack.complete = received.all_set();
+  if (ack.complete || fragment_bits_ == 0 || frontier >= packet_count_) {
+    return ack;  // nothing beyond the frontier worth reporting
+  }
+  // Rotate the fragment start over [frontier, packet_count). Successive
+  // ACKs walk the unfinished region so the sender's whole view refreshes.
+  if (rotate_cursor_ < frontier || rotate_cursor_ >= packet_count_) {
+    rotate_cursor_ = frontier;
+  }
+  const PacketSeq start = rotate_cursor_;
+  const PacketSeq end = std::min<PacketSeq>(start + fragment_bits_, packet_count_);
+  ack.fragment_start = start;
+  ack.fragment_bits = static_cast<std::int32_t>(end - start);
+  ack.fragment = received.extract_range(static_cast<std::size_t>(start),
+                                        static_cast<std::size_t>(end));
+  rotate_cursor_ = end >= packet_count_ ? frontier : end;
+  return ack;
+}
+
+std::int64_t apply_ack(const AckMessage& ack, fobs::util::Bitmap& view) {
+  std::int64_t newly = 0;
+  // Frontier: everything below it is received.
+  for (PacketSeq seq = 0; seq < ack.frontier; ++seq) {
+    // Fast path: skip whole set words via first_clear.
+    auto clear = view.first_clear(static_cast<std::size_t>(seq));
+    if (!clear || static_cast<PacketSeq>(*clear) >= ack.frontier) break;
+    seq = static_cast<PacketSeq>(*clear);
+    view.set(static_cast<std::size_t>(seq));
+    ++newly;
+  }
+  if (ack.fragment_bits > 0) {
+    newly += static_cast<std::int64_t>(
+        view.merge_range(static_cast<std::size_t>(ack.fragment_start),
+                         static_cast<std::size_t>(ack.fragment_bits), ack.fragment.data(),
+                         ack.fragment.size()));
+  }
+  if (ack.complete && !view.all_set()) {
+    newly += static_cast<std::int64_t>(view.size() - view.count());
+    view.set_all();
+  }
+  return newly;
+}
+
+}  // namespace fobs::core

@@ -1,0 +1,118 @@
+#include "fobs/object.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cstring>
+#include <fstream>
+
+#include "common/rng.h"
+
+namespace fobs::core {
+
+TransferObject::~TransferObject() { reset(); }
+
+void TransferObject::reset() {
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(data_, static_cast<std::size_t>(size_));
+  }
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  owned_.clear();
+}
+
+TransferObject::TransferObject(TransferObject&& other) noexcept { *this = std::move(other); }
+
+TransferObject& TransferObject::operator=(TransferObject&& other) noexcept {
+  if (this != &other) {
+    reset();
+    owned_ = std::move(other.owned_);
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    // For owned objects the pointer must track the moved vector.
+    data_ = mapped_ ? other.data_ : owned_.data();
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+  }
+  return *this;
+}
+
+TransferObject TransferObject::allocate(std::int64_t bytes) {
+  assert(bytes >= 0);
+  TransferObject object;
+  object.owned_.assign(static_cast<std::size_t>(bytes), 0);
+  object.data_ = object.owned_.data();
+  object.size_ = bytes;
+  return object;
+}
+
+TransferObject TransferObject::pattern(std::int64_t bytes, std::uint64_t seed) {
+  TransferObject object = allocate(bytes);
+  fobs::util::Rng rng(seed);
+  auto span = object.mutable_view();
+  std::size_t i = 0;
+  for (; i + 8 <= span.size(); i += 8) {
+    const std::uint64_t v = rng.next();
+    std::memcpy(span.data() + i, &v, 8);
+  }
+  if (i < span.size()) {
+    const std::uint64_t v = rng.next();
+    std::memcpy(span.data() + i, &v, span.size() - i);
+  }
+  return object;
+}
+
+TransferObject TransferObject::from_vector(std::vector<std::uint8_t> data) {
+  TransferObject object;
+  object.owned_ = std::move(data);
+  object.data_ = object.owned_.data();
+  object.size_ = static_cast<std::int64_t>(object.owned_.size());
+  return object;
+}
+
+std::optional<TransferObject> TransferObject::map_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return std::nullopt;
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  void* addr = ::mmap(nullptr, static_cast<std::size_t>(st.st_size), PROT_READ, MAP_PRIVATE,
+                      fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (addr == MAP_FAILED) return std::nullopt;
+  TransferObject object;
+  object.data_ = static_cast<std::uint8_t*>(addr);
+  object.size_ = static_cast<std::int64_t>(st.st_size);
+  object.mapped_ = true;
+  return object;
+}
+
+std::span<std::uint8_t> TransferObject::mutable_view() {
+  assert(!mapped_ && "mapped objects are read-only");
+  return {data_, static_cast<std::size_t>(size_)};
+}
+
+std::uint64_t TransferObject::checksum() const {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (std::int64_t i = 0; i < size_; ++i) {
+    hash ^= data_[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+bool TransferObject::write_to_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(data_), static_cast<std::streamsize>(size_));
+  return out.good();
+}
+
+}  // namespace fobs::core

@@ -1,0 +1,60 @@
+// The "object" in object-based transfer: a contiguous buffer that is
+// fully allocated before the transfer starts (the paper's fundamental
+// assumption — "the user-level data buffer spans the entire object").
+//
+// Backing stores: owned memory (allocated or generated test patterns)
+// and read-only memory-mapped files, so multi-gigabyte files can be
+// sent without loading them through the heap.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fobs::core {
+
+class TransferObject {
+ public:
+  TransferObject() = default;
+  ~TransferObject();
+
+  TransferObject(TransferObject&& other) noexcept;
+  TransferObject& operator=(TransferObject&& other) noexcept;
+  TransferObject(const TransferObject&) = delete;
+  TransferObject& operator=(const TransferObject&) = delete;
+
+  /// Zero-filled writable buffer (receive side).
+  static TransferObject allocate(std::int64_t bytes);
+  /// Deterministic pseudo-random content (tests, benchmarks).
+  static TransferObject pattern(std::int64_t bytes, std::uint64_t seed);
+  /// Adopts an existing vector.
+  static TransferObject from_vector(std::vector<std::uint8_t> data);
+  /// Memory-maps `path` read-only; nullopt on failure (missing file,
+  /// empty file, mmap error).
+  static std::optional<TransferObject> map_file(const std::string& path);
+
+  [[nodiscard]] std::int64_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::span<const std::uint8_t> view() const { return {data_, static_cast<std::size_t>(size_)}; }
+  /// Writable view; invalid for mapped (read-only) objects — asserts.
+  [[nodiscard]] std::span<std::uint8_t> mutable_view();
+  [[nodiscard]] bool is_mapped() const { return mapped_; }
+
+  /// FNV-1a 64-bit content checksum (integrity spot check).
+  [[nodiscard]] std::uint64_t checksum() const;
+
+  /// Writes the content to `path`; false on I/O error.
+  bool write_to_file(const std::string& path) const;
+
+ private:
+  void reset();
+
+  std::uint8_t* data_ = nullptr;
+  std::int64_t size_ = 0;
+  bool mapped_ = false;               ///< via mmap (read-only)
+  std::vector<std::uint8_t> owned_;   ///< backing store when not mapped
+};
+
+}  // namespace fobs::core

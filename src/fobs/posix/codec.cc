@@ -1,0 +1,80 @@
+#include "fobs/posix/codec.h"
+
+#include <cstring>
+
+namespace fobs::posix {
+
+namespace {
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) | (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | static_cast<std::uint32_t>(p[3]);
+}
+
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  put_u32(p, static_cast<std::uint32_t>(v >> 32));
+  put_u32(p + 4, static_cast<std::uint32_t>(v));
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return (static_cast<std::uint64_t>(get_u32(p)) << 32) | get_u32(p + 4);
+}
+
+constexpr std::size_t kAckFixedSize = 4 + 8 + 8 + 8 + 8 + 4 + 4;  // 44 bytes
+
+}  // namespace
+
+void encode_data_header(const DataHeader& header, std::uint8_t* out) {
+  put_u32(out, kMagic);
+  out[4] = kTypeData;
+  out[5] = out[6] = out[7] = 0;
+  put_u64(out + 8, static_cast<std::uint64_t>(header.seq));
+}
+
+std::optional<DataHeader> decode_data_header(const std::uint8_t* data, std::size_t len) {
+  if (len < kDataHeaderSize) return std::nullopt;
+  if (get_u32(data) != kMagic || data[4] != kTypeData) return std::nullopt;
+  DataHeader header;
+  header.seq = static_cast<fobs::core::PacketSeq>(get_u64(data + 8));
+  return header;
+}
+
+std::vector<std::uint8_t> encode_ack(const fobs::core::AckMessage& ack) {
+  std::vector<std::uint8_t> out(kAckFixedSize + ack.fragment.size());
+  put_u32(out.data(), kMagic);
+  out[4] = kTypeAck;
+  out[5] = ack.complete ? 1 : 0;
+  out[6] = out[7] = 0;
+  put_u64(out.data() + 8, ack.ack_no);
+  put_u64(out.data() + 16, static_cast<std::uint64_t>(ack.total_received));
+  put_u64(out.data() + 24, static_cast<std::uint64_t>(ack.frontier));
+  put_u64(out.data() + 32, static_cast<std::uint64_t>(ack.fragment_start));
+  put_u32(out.data() + 40, static_cast<std::uint32_t>(ack.fragment_bits));
+  std::memcpy(out.data() + kAckFixedSize, ack.fragment.data(), ack.fragment.size());
+  return out;
+}
+
+std::optional<fobs::core::AckMessage> decode_ack(const std::uint8_t* data, std::size_t len) {
+  if (len < kAckFixedSize) return std::nullopt;
+  if (get_u32(data) != kMagic || data[4] != kTypeAck) return std::nullopt;
+  fobs::core::AckMessage ack;
+  ack.complete = data[5] != 0;
+  ack.ack_no = get_u64(data + 8);
+  ack.total_received = static_cast<std::int64_t>(get_u64(data + 16));
+  ack.frontier = static_cast<fobs::core::PacketSeq>(get_u64(data + 24));
+  ack.fragment_start = static_cast<fobs::core::PacketSeq>(get_u64(data + 32));
+  ack.fragment_bits = static_cast<std::int32_t>(get_u32(data + 40));
+  const std::size_t expected = (static_cast<std::size_t>(ack.fragment_bits) + 7) / 8;
+  if (len < kAckFixedSize + expected) return std::nullopt;
+  ack.fragment.assign(data + kAckFixedSize, data + kAckFixedSize + expected);
+  return ack;
+}
+
+}  // namespace fobs::posix

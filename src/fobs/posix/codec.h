@@ -1,0 +1,38 @@
+// Binary wire codec for real-socket FOBS (network byte order).
+//
+// Data packet:  16-byte header (magic, type, flags, seq) + payload.
+// ACK packet:   fixed header + packed bitmap fragment.
+// Completion:   8-byte magic token on the TCP control stream.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fobs/ack.h"
+#include "fobs/types.h"
+
+namespace fobs::posix {
+
+inline constexpr std::uint32_t kMagic = 0x464F4253;  // "FOBS"
+inline constexpr std::uint8_t kTypeData = 1;
+inline constexpr std::uint8_t kTypeAck = 2;
+inline constexpr std::uint64_t kCompletionToken = 0x464F4253444F4E45ull;  // "FOBSDONE"
+
+inline constexpr std::size_t kDataHeaderSize = 16;
+
+struct DataHeader {
+  fobs::core::PacketSeq seq = 0;
+};
+
+/// Writes the data-packet header into `out` (size >= kDataHeaderSize).
+void encode_data_header(const DataHeader& header, std::uint8_t* out);
+/// Parses a data-packet header; nullopt when magic/type mismatch.
+std::optional<DataHeader> decode_data_header(const std::uint8_t* data, std::size_t len);
+
+/// Serializes an AckMessage into a datagram payload.
+std::vector<std::uint8_t> encode_ack(const fobs::core::AckMessage& ack);
+/// Parses an ACK datagram; nullopt when malformed.
+std::optional<fobs::core::AckMessage> decode_ack(const std::uint8_t* data, std::size_t len);
+
+}  // namespace fobs::posix

@@ -1,0 +1,304 @@
+#include "fobs/posix/posix_transfer.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/log.h"
+#include "fobs/posix/codec.h"
+
+namespace fobs::posix {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// RAII file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  void reset() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr);
+  return addr;
+}
+
+double mbps(std::int64_t bytes, double seconds) {
+  if (seconds <= 0) return 0.0;
+  return static_cast<double>(bytes) * 8.0 / seconds / 1e6;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Sender
+// ---------------------------------------------------------------------------
+
+SenderResult send_object(const SenderOptions& options, std::span<const std::uint8_t> object) {
+  SenderResult result;
+  fobs::core::TransferSpec spec{static_cast<std::int64_t>(object.size()),
+                                options.packet_bytes};
+  result.packets_needed = spec.packet_count();
+
+  // UDP socket for data out / ACKs in.
+  Fd udp(::socket(AF_INET, SOCK_DGRAM, 0));
+  if (!udp.valid() || !set_nonblocking(udp.get())) {
+    result.error = "udp socket setup failed";
+    return result;
+  }
+  if (options.send_buffer_bytes > 0) {
+    const int buf = options.send_buffer_bytes;
+    ::setsockopt(udp.get(), SOL_SOCKET, SO_SNDBUF, &buf, sizeof buf);
+  }
+  const sockaddr_in peer = make_addr(options.receiver_host, options.data_port);
+
+  // TCP listener for the completion signal.
+  Fd listener(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!listener.valid()) {
+    result.error = "tcp socket failed";
+    return result;
+  }
+  const int one = 1;
+  ::setsockopt(listener.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in listen_addr = make_addr("0.0.0.0", options.control_port);
+  if (::bind(listener.get(), reinterpret_cast<sockaddr*>(&listen_addr), sizeof listen_addr) !=
+          0 ||
+      ::listen(listener.get(), 1) != 0 || !set_nonblocking(listener.get())) {
+    result.error = "tcp listen failed";
+    return result;
+  }
+
+  fobs::core::SenderCore core(spec, options.core);
+  std::vector<std::uint8_t> packet(kDataHeaderSize +
+                                   static_cast<std::size_t>(options.packet_bytes));
+  std::uint8_t ack_buf[64 * 1024];
+
+  Fd control;
+  const auto start = Clock::now();
+  const auto deadline = start + std::chrono::milliseconds(options.timeout_ms);
+
+  while (!core.completion_received()) {
+    if (Clock::now() >= deadline) {
+      result.error = "timeout";
+      break;
+    }
+
+    // Accept / read the completion channel.
+    if (!control.valid()) {
+      const int fd = ::accept(listener.get(), nullptr, nullptr);
+      if (fd >= 0) {
+        control = Fd(fd);
+        set_nonblocking(fd);
+      }
+    } else {
+      std::uint64_t token = 0;
+      const ssize_t n = ::recv(control.get(), &token, sizeof token, MSG_DONTWAIT);
+      if (n == sizeof token && token == kCompletionToken) {
+        core.on_completion_signal();
+        break;
+      }
+    }
+
+    // Phase 2: one non-blocking ACK check.
+    const ssize_t ack_len = ::recv(udp.get(), ack_buf, sizeof ack_buf, MSG_DONTWAIT);
+    if (ack_len > 0) {
+      if (auto ack = decode_ack(ack_buf, static_cast<std::size_t>(ack_len))) {
+        core.on_ack(*ack);
+      }
+    }
+
+    if (core.all_acked()) {
+      // Nothing useful to send; nap briefly while waiting for the
+      // completion signal instead of spinning.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      continue;
+    }
+
+    // Phase 1: batch-send.
+    const int batch = core.current_batch_size();
+    for (int i = 0; i < batch && !core.all_acked(); ++i) {
+      // Peek the next packet by selecting only after the socket is
+      // known writable: try a zero-copy check via poll with 0 timeout.
+      const auto seq = core.select_next();
+      if (!seq) break;
+      const std::int64_t len = spec.payload_bytes(*seq);
+      encode_data_header(DataHeader{*seq}, packet.data());
+      std::memcpy(packet.data() + kDataHeaderSize, object.data() + spec.offset_of(*seq),
+                  static_cast<std::size_t>(len));
+      while (true) {
+        const ssize_t sent =
+            ::sendto(udp.get(), packet.data(), kDataHeaderSize + static_cast<std::size_t>(len),
+                     0, reinterpret_cast<const sockaddr*>(&peer), sizeof peer);
+        if (sent >= 0) break;
+        if (errno == EWOULDBLOCK || errno == EAGAIN || errno == ENOBUFS) {
+          // The select()-style wait from the paper: block until the
+          // socket can take the datagram.
+          pollfd pfd{udp.get(), POLLOUT, 0};
+          ::poll(&pfd, 1, 10);
+          continue;
+        }
+        result.error = std::string("sendto failed: ") + std::strerror(errno);
+        break;
+      }
+      if (!result.error.empty()) break;
+    }
+    if (!result.error.empty()) break;
+
+    // The adaptive extension's pacing gap, when enabled.
+    const auto gap = core.pacing_gap();
+    if (gap > fobs::util::Duration::zero()) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(gap.ns()));
+    }
+  }
+
+  const double elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  result.completed = core.completion_received();
+  result.elapsed_seconds = elapsed;
+  result.packets_sent = core.stats().packets_sent;
+  result.waste = core.waste();
+  if (result.completed) {
+    result.goodput_mbps = mbps(spec.object_bytes, elapsed);
+    result.error.clear();
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Receiver
+// ---------------------------------------------------------------------------
+
+ReceiverResult receive_object(const ReceiverOptions& options, std::span<std::uint8_t> buffer) {
+  ReceiverResult result;
+  fobs::core::TransferSpec spec{static_cast<std::int64_t>(buffer.size()),
+                                options.packet_bytes};
+
+  Fd udp(::socket(AF_INET, SOCK_DGRAM, 0));
+  if (!udp.valid() || !set_nonblocking(udp.get())) {
+    result.error = "udp socket setup failed";
+    return result;
+  }
+  if (options.recv_buffer_bytes > 0) {
+    const int buf = options.recv_buffer_bytes;
+    ::setsockopt(udp.get(), SOL_SOCKET, SO_RCVBUF, &buf, sizeof buf);
+  }
+  sockaddr_in bind_addr = make_addr("0.0.0.0", options.data_port);
+  if (::bind(udp.get(), reinterpret_cast<sockaddr*>(&bind_addr), sizeof bind_addr) != 0) {
+    result.error = "udp bind failed";
+    return result;
+  }
+
+  // Completion channel: connect to the sender (retry while it starts).
+  Fd control(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!control.valid()) {
+    result.error = "tcp socket failed";
+    return result;
+  }
+  const sockaddr_in control_addr = make_addr(options.sender_host, options.control_port);
+  const auto start = Clock::now();
+  const auto deadline = start + std::chrono::milliseconds(options.timeout_ms);
+  while (::connect(control.get(), reinterpret_cast<const sockaddr*>(&control_addr),
+                   sizeof control_addr) != 0) {
+    if (Clock::now() >= deadline) {
+      result.error = "control connect timeout";
+      return result;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  fobs::core::ReceiverCore core(spec, options.core);
+  std::vector<std::uint8_t> datagram(kDataHeaderSize +
+                                     static_cast<std::size_t>(options.packet_bytes));
+  sockaddr_in from{};
+  bool have_sender_addr = false;
+
+  while (!core.complete()) {
+    if (Clock::now() >= deadline) {
+      result.error = "timeout";
+      break;
+    }
+    socklen_t from_len = sizeof from;
+    const ssize_t n = ::recvfrom(udp.get(), datagram.data(), datagram.size(), MSG_DONTWAIT,
+                                 reinterpret_cast<sockaddr*>(&from), &from_len);
+    if (n < 0) {
+      if (errno == EWOULDBLOCK || errno == EAGAIN) {
+        pollfd pfd{udp.get(), POLLIN, 0};
+        ::poll(&pfd, 1, 10);
+        continue;
+      }
+      result.error = std::string("recvfrom failed: ") + std::strerror(errno);
+      break;
+    }
+    have_sender_addr = true;
+    const auto header = decode_data_header(datagram.data(), static_cast<std::size_t>(n));
+    if (!header || header->seq < 0 || header->seq >= spec.packet_count()) continue;
+    const std::int64_t len = spec.payload_bytes(header->seq);
+    if (n - static_cast<ssize_t>(kDataHeaderSize) < len) continue;  // truncated
+
+    const auto outcome = core.on_data_packet(header->seq);
+    if (outcome.newly_received) {
+      std::memcpy(buffer.data() + spec.offset_of(header->seq),
+                  datagram.data() + kDataHeaderSize, static_cast<std::size_t>(len));
+    }
+    if (outcome.ack_due && have_sender_addr) {
+      const auto ack = encode_ack(core.make_ack());
+      ::sendto(udp.get(), ack.data(), ack.size(), 0, reinterpret_cast<sockaddr*>(&from),
+               from_len);
+    }
+  }
+
+  if (core.complete()) {
+    const std::uint64_t token = kCompletionToken;
+    // Best-effort blocking-ish send of 8 bytes.
+    ::send(control.get(), &token, sizeof token, 0);
+    result.completed = true;
+  }
+  const double elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  result.elapsed_seconds = elapsed;
+  result.packets_received = core.stats().packets_received;
+  result.duplicates = core.stats().duplicates;
+  if (result.completed) result.goodput_mbps = mbps(spec.object_bytes, elapsed);
+  return result;
+}
+
+}  // namespace fobs::posix

@@ -1,0 +1,74 @@
+// Real-socket (POSIX) FOBS drivers.
+//
+// The same SenderCore/ReceiverCore state machines that run in the
+// simulator, driven by non-blocking UDP sockets plus a TCP completion
+// channel — the paper's deployment shape. One UDP socket per side
+// carries both data and acknowledgements (the receiver replies to the
+// source address of the data packets, so no ack-port configuration is
+// needed); a TCP connection from receiver to sender delivers the
+// "all data received" signal.
+//
+// Both calls are blocking; run them in two threads (see
+// examples/file_transfer.cpp) or two processes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "fobs/receiver_core.h"
+#include "fobs/sender_core.h"
+
+namespace fobs::posix {
+
+struct SenderOptions {
+  std::string receiver_host = "127.0.0.1";
+  std::uint16_t data_port = 0;     ///< receiver's UDP port (required)
+  std::uint16_t control_port = 0;  ///< sender's TCP listen port (required)
+  std::int64_t packet_bytes = 1024;
+  fobs::core::SenderConfig core;
+  /// Wall-clock give-up timeout in milliseconds.
+  int timeout_ms = 60'000;
+  /// SO_SNDBUF request (0 = system default).
+  int send_buffer_bytes = 1 << 20;
+};
+
+struct SenderResult {
+  bool completed = false;
+  double elapsed_seconds = 0.0;
+  std::int64_t packets_sent = 0;
+  std::int64_t packets_needed = 0;
+  double waste = 0.0;
+  double goodput_mbps = 0.0;
+  std::string error;  ///< empty on success
+};
+
+/// Sends `object` to a receive_object() peer. Blocks until the
+/// completion signal arrives or the timeout expires.
+SenderResult send_object(const SenderOptions& options, std::span<const std::uint8_t> object);
+
+struct ReceiverOptions {
+  std::string sender_host = "127.0.0.1";
+  std::uint16_t data_port = 0;     ///< local UDP port to bind (required)
+  std::uint16_t control_port = 0;  ///< sender's TCP port (required)
+  std::int64_t packet_bytes = 1024;
+  fobs::core::ReceiverConfig core;
+  int timeout_ms = 60'000;
+  /// SO_RCVBUF request (0 = system default). This is the buffer whose
+  /// overflow during ACK construction the paper's Figure 1 studies.
+  int recv_buffer_bytes = 1 << 20;
+};
+
+struct ReceiverResult {
+  bool completed = false;
+  double elapsed_seconds = 0.0;
+  std::int64_t packets_received = 0;
+  std::int64_t duplicates = 0;
+  double goodput_mbps = 0.0;
+  std::string error;
+};
+
+/// Receives an object of exactly `buffer.size()` bytes into `buffer`.
+ReceiverResult receive_object(const ReceiverOptions& options, std::span<std::uint8_t> buffer);
+
+}  // namespace fobs::posix

@@ -1,0 +1,41 @@
+#include "fobs/receiver_core.h"
+
+#include <cassert>
+
+namespace fobs::core {
+
+ReceiverCore::ReceiverCore(TransferSpec spec, ReceiverConfig config)
+    : spec_(spec),
+      config_(config),
+      received_(static_cast<std::size_t>(spec.packet_count())),
+      ack_builder_(spec.packet_count(), config.ack_payload_bytes) {
+  assert(config_.ack_frequency > 0);
+}
+
+ReceiverCore::PacketResult ReceiverCore::on_data_packet(PacketSeq seq) {
+  assert(seq >= 0 && seq < spec_.packet_count());
+  PacketResult result;
+  ++stats_.packets_seen;
+  if (!received_.set(static_cast<std::size_t>(seq))) {
+    ++stats_.duplicates;
+    return result;
+  }
+  result.newly_received = true;
+  ++stats_.packets_received;
+  ++new_since_ack_;
+  if (seq == frontier_) {
+    const auto next = received_.first_clear(static_cast<std::size_t>(frontier_));
+    frontier_ = next ? static_cast<PacketSeq>(*next) : spec_.packet_count();
+  }
+  result.just_completed = received_.all_set();
+  result.ack_due = new_since_ack_ >= config_.ack_frequency || result.just_completed;
+  return result;
+}
+
+AckMessage ReceiverCore::make_ack() {
+  new_since_ack_ = 0;
+  ++stats_.acks_built;
+  return ack_builder_.build(received_, frontier_, stats_.packets_received);
+}
+
+}  // namespace fobs::core

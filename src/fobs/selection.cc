@@ -1,0 +1,80 @@
+#include "fobs/selection.h"
+
+#include <cassert>
+
+namespace fobs::core {
+
+const char* to_string(SelectionKind kind) {
+  switch (kind) {
+    case SelectionKind::kCircular: return "circular";
+    case SelectionKind::kLowestFirst: return "lowest-first";
+    case SelectionKind::kRandomUnacked: return "random";
+  }
+  return "?";
+}
+
+namespace {
+
+class CircularPolicy final : public SelectionPolicy {
+ public:
+  std::optional<PacketSeq> select(const fobs::util::Bitmap& acked) override {
+    const auto hit = acked.first_clear_circular(cursor_);
+    if (!hit) return std::nullopt;
+    cursor_ = *hit + 1;
+    if (cursor_ >= acked.size()) cursor_ = 0;
+    return static_cast<PacketSeq>(*hit);
+  }
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+class LowestFirstPolicy final : public SelectionPolicy {
+ public:
+  std::optional<PacketSeq> select(const fobs::util::Bitmap& acked) override {
+    const auto hit = acked.first_clear(0);
+    if (!hit) return std::nullopt;
+    return static_cast<PacketSeq>(*hit);
+  }
+};
+
+class RandomPolicy final : public SelectionPolicy {
+ public:
+  explicit RandomPolicy(fobs::util::Rng rng) : rng_(rng) {}
+
+  std::optional<PacketSeq> select(const fobs::util::Bitmap& acked) override {
+    const std::size_t n = acked.size();
+    if (n == 0 || acked.all_set()) return std::nullopt;
+    // Rejection sampling: expected tries = n / unacked; over a whole
+    // transfer this sums to O(n log n) bit tests.
+    for (int tries = 0; tries < 256; ++tries) {
+      const auto seq = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      if (!acked.test(seq)) return static_cast<PacketSeq>(seq);
+    }
+    // Pathologically few unacked packets: fall back to a scan from a
+    // random start so selection stays uniform-ish and O(n) bounded.
+    const auto start = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    const auto hit = acked.first_clear_circular(start);
+    assert(hit.has_value());
+    return static_cast<PacketSeq>(*hit);
+  }
+
+ private:
+  fobs::util::Rng rng_;
+};
+
+}  // namespace
+
+std::unique_ptr<SelectionPolicy> make_selection_policy(SelectionKind kind,
+                                                       fobs::util::Rng rng) {
+  switch (kind) {
+    case SelectionKind::kCircular: return std::make_unique<CircularPolicy>();
+    case SelectionKind::kLowestFirst: return std::make_unique<LowestFirstPolicy>();
+    case SelectionKind::kRandomUnacked: return std::make_unique<RandomPolicy>(rng);
+  }
+  return nullptr;
+}
+
+}  // namespace fobs::core

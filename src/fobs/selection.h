@@ -1,0 +1,43 @@
+// Packet-selection policies for the FOBS sender (paper §3.1, phase 3).
+//
+// The policy answers: out of all unacknowledged packets, which goes onto
+// the network next? The paper evaluated several and found the circular-
+// buffer rule best "by far"; the alternatives are kept for the ablation
+// benchmark.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/bitmap.h"
+#include "common/rng.h"
+#include "fobs/types.h"
+
+namespace fobs::core {
+
+enum class SelectionKind {
+  /// Treat the object as a circular buffer: never send a packet for the
+  /// (n+1)-st time while any unacked packet has been sent fewer than
+  /// n+1 times.
+  kCircular,
+  /// Always hammer the lowest unacknowledged sequence number.
+  kLowestFirst,
+  /// Uniformly random unacknowledged packet.
+  kRandomUnacked,
+};
+
+[[nodiscard]] const char* to_string(SelectionKind kind);
+
+class SelectionPolicy {
+ public:
+  virtual ~SelectionPolicy() = default;
+  /// Next packet to transmit given the sender's view of what the
+  /// receiver has (`acked`). Returns nullopt when everything is acked.
+  virtual std::optional<PacketSeq> select(const fobs::util::Bitmap& acked) = 0;
+};
+
+/// Factory. `rng` is used only by the random policy.
+std::unique_ptr<SelectionPolicy> make_selection_policy(SelectionKind kind,
+                                                       fobs::util::Rng rng);
+
+}  // namespace fobs::core

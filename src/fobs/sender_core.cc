@@ -1,0 +1,70 @@
+#include "fobs/sender_core.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fobs::core {
+
+SenderCore::SenderCore(TransferSpec spec, SenderConfig config)
+    : spec_(spec),
+      config_(config),
+      acked_view_(static_cast<std::size_t>(spec.packet_count())),
+      policy_(make_selection_policy(config.selection, fobs::util::Rng(config.seed))),
+      send_counts_(static_cast<std::size_t>(spec.packet_count()), 0),
+      batch_size_(std::max(1, config.batch_size)),
+      adaptive_(config.adaptive) {
+  assert(spec_.object_bytes >= 0);
+  assert(spec_.packet_bytes > 0);
+}
+
+std::optional<PacketSeq> SenderCore::select_next() {
+  const auto seq = policy_->select(acked_view_);
+  if (!seq) return std::nullopt;
+  auto& count = send_counts_[static_cast<std::size_t>(*seq)];
+  if (count > 0) ++stats_.duplicate_sends;
+  ++count;
+  ++stats_.packets_sent;
+  return seq;
+}
+
+void SenderCore::record_external_send(PacketSeq seq) {
+  auto& count = send_counts_[static_cast<std::size_t>(seq)];
+  if (count > 0) ++stats_.duplicate_sends;
+  ++count;
+  ++stats_.packets_sent;
+}
+
+std::int64_t SenderCore::on_ack(const AckMessage& ack) {
+  ++stats_.acks_processed;
+  const std::int64_t newly = apply_ack(ack, acked_view_);
+  stats_.packets_acked += newly;
+  if (config_.batch_policy == BatchPolicy::kAckAdaptive) update_adaptive_batch(ack);
+  if (config_.adaptive.enabled) {
+    // Feed the greediness controller with what happened since the last
+    // ACK: how much we launched vs. how much the receiver got.
+    const std::int64_t sent_since = stats_.packets_sent - sent_at_last_ack_;
+    const std::int64_t received_since = ack.total_received - received_at_last_ack_;
+    adaptive_.on_ack(sent_since, received_since);
+    sent_at_last_ack_ = stats_.packets_sent;
+    received_at_last_ack_ = ack.total_received;
+  }
+  return newly;
+}
+
+void SenderCore::update_adaptive_batch(const AckMessage& ack) {
+  if (ack.ack_no <= last_ack_no_) return;  // stale/reordered ack
+  if (last_ack_no_ != 0) {
+    const std::int64_t delta = ack.total_received - last_total_received_;
+    const std::uint64_t acks = ack.ack_no - last_ack_no_;
+    if (acks > 0 && delta >= 0) {
+      // Target roughly half the observed per-ACK delivery rate: enough
+      // to keep the pipe fed, small enough to check for ACKs often.
+      const auto per_ack = static_cast<double>(delta) / static_cast<double>(acks);
+      batch_size_ = static_cast<int>(std::clamp(per_ack / 2.0, 1.0, 64.0));
+    }
+  }
+  last_ack_no_ = ack.ack_no;
+  last_total_received_ = ack.total_received;
+}
+
+}  // namespace fobs::core

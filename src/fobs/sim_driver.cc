@@ -1,0 +1,309 @@
+#include "fobs/sim_driver.h"
+
+#include <cassert>
+#include <cstring>
+#include <utility>
+
+#include "common/log.h"
+
+namespace fobs::core {
+
+namespace {
+fobs::net::TcpConfig control_channel_config() {
+  // The control channel moves a handful of bytes; defaults are fine.
+  return fobs::net::TcpConfig{};
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SimSender
+// ---------------------------------------------------------------------------
+
+SimSender::SimSender(Host& host, TransferSpec spec, SenderConfig config,
+                     const std::uint8_t* data, NodeId receiver_node, PortId port_base)
+    : host_(host),
+      spec_(spec),
+      core_(spec, config),
+      data_(data),
+      receiver_node_(receiver_node),
+      port_base_(port_base),
+      data_out_(host),
+      ack_in_(host, static_cast<PortId>(port_base + kAckPortOffset)),
+      completion_listener_(host, static_cast<PortId>(port_base + kCompletionPortOffset),
+                           control_channel_config(),
+                           [this](std::unique_ptr<fobs::net::TcpConnection> conn) {
+                             control_conn_ = std::move(conn);
+                             control_conn_->set_on_message(
+                                 [this](const std::any& m) { on_control_message(m); });
+                           }) {}
+
+void SimSender::start() {
+  if (started_) return;
+  started_ = true;
+  step();
+}
+
+void SimSender::on_control_message(const std::any& message) {
+  if (std::any_cast<CompletionSignal>(&message) == nullptr) return;
+  core_.on_completion_signal();
+  if (!finished_) {
+    finished_ = true;
+    finished_at_ = host_.network().sim().now();
+    FOBS_DEBUG("fobs.sender", "completion signal at " << finished_at_.seconds() << "s, sent="
+                                                      << core_.stats().packets_sent);
+    if (on_finished_) on_finished_();
+  }
+}
+
+void SimSender::step() {
+  if (finished_ || mode_ != Mode::kUdp) return;
+  auto& sim = host_.network().sim();
+  Duration busy = Duration::zero();
+
+  // Phase 2: look for (but do not block on) one acknowledgement.
+  if (auto pkt = ack_in_.try_recv()) {
+    const auto* payload = std::any_cast<AckPacketPayload>(&pkt->payload);
+    if (payload != nullptr && payload->ack != nullptr) {
+      busy += host_.cpu().recv_cost(fobs::util::DataSize::bytes(payload->ack->wire_bytes()));
+      core_.on_ack(*payload->ack);
+    }
+  }
+
+  // §7 first option: sustained congestion hands the transfer to TCP.
+  if (core_.adaptive().congested()) {
+    enter_fallback();
+    return;
+  }
+
+  // Phase 1: batch-send without blocking.
+  const int batch = core_.current_batch_size();
+  const std::int64_t max_payload = spec_.packet_bytes + kDataHeaderBytes;
+  for (int i = 0; i < batch; ++i) {
+    if (core_.all_acked()) break;
+    if (!data_out_.writable(max_payload)) {
+      // Socket buffer full: wait for writability (the select() call),
+      // then continue the loop. CPU consumed so far still elapses.
+      host_.notify_writable([this] {
+        if (!step_scheduled_) {
+          step_scheduled_ = true;
+          host_.network().sim().schedule_in(Duration::zero(), [this] {
+            step_scheduled_ = false;
+            step();
+          });
+        }
+      });
+      if (busy > Duration::zero()) {
+        // Model the CPU time of this iteration before the wait ends.
+        return;  // resume comes from the writability callback
+      }
+      return;
+    }
+    const auto seq = core_.select_next();
+    if (!seq) break;
+    const std::int64_t len = spec_.payload_bytes(*seq);
+    DataPacketPayload payload;
+    payload.seq = *seq;
+    payload.len = static_cast<std::int32_t>(len);
+    payload.data = data_ != nullptr ? data_ + spec_.offset_of(*seq) : nullptr;
+    const bool ok =
+        data_out_.send_to(receiver_node_, static_cast<PortId>(port_base_ + kDataPortOffset),
+                          len + kDataHeaderBytes, payload);
+    assert(ok);
+    (void)ok;
+    busy += host_.cpu().send_cost(fobs::util::DataSize::bytes(len + kDataHeaderBytes));
+  }
+
+  if (core_.all_acked()) {
+    // Everything acked in the local view: idle until either a (stray)
+    // ACK or the completion signal arrives.
+    ack_in_.set_rx_notify([this] { step(); });
+    return;
+  }
+
+  // Reserve the CPU time this iteration consumed (co-located transfers
+  // contend for the host's core), plus any pacing gap the adaptive-
+  // greediness controller requests (idle, not CPU). A tiny floor keeps
+  // the loop from spinning in zero simulated time.
+  const auto resume =
+      host_.reserve_cpu(std::max(busy, Duration::nanoseconds(500))) + core_.pacing_gap();
+  sim.schedule_at(resume, [this] { step(); });
+}
+
+// ---------------------------------------------------------------------------
+// §7 TCP fallback: hand the remainder of the object to a congestion-
+// controlled TCP channel; probe it and return to greedy UDP once the
+// congestion has dissipated.
+// ---------------------------------------------------------------------------
+
+void SimSender::enter_fallback() {
+  if (mode_ == Mode::kTcpFallback || finished_) return;
+  mode_ = Mode::kTcpFallback;
+  ++fallback_episodes_;
+  // Note: tcp_cursor_ is intentionally NOT reset — packets offered to
+  // the TCP channel in an earlier episode are still reliably in flight
+  // there, and re-offering them would be pure duplication.
+  probe_clear_streak_ = 0;
+  FOBS_INFO("fobs.sender", "entering TCP fallback (loss estimate "
+                               << core_.adaptive().loss_estimate() << ")");
+  auto& sim = host_.network().sim();
+  if (tcp_data_ == nullptr) {
+    tcp_data_ = std::make_unique<fobs::net::TcpConnection>(host_, control_channel_config());
+    tcp_data_->connect(receiver_node_,
+                       static_cast<PortId>(port_base_ + kTcpDataPortOffset));
+  }
+  probe_rtx_snapshot_ = tcp_data_->stats().retransmissions;
+  pump_tcp();
+  sim.schedule_in(core_.config().adaptive.fallback_probe_interval, [this] { probe_tick(); });
+}
+
+void SimSender::exit_fallback() {
+  if (mode_ != Mode::kTcpFallback) return;
+  mode_ = Mode::kUdp;
+  core_.reset_adaptive();
+  FOBS_INFO("fobs.sender", "congestion dissipated; resuming greedy UDP");
+  step();
+}
+
+void SimSender::pump_tcp() {
+  if (finished_ || mode_ != Mode::kTcpFallback) return;
+  const auto& adaptive = core_.config().adaptive;
+  if (tcp_data_->established()) {
+    while (true) {
+      const std::int64_t outstanding = tcp_data_->offered_bytes() - tcp_data_->acked_bytes();
+      if (outstanding >= adaptive.fallback_window_bytes) break;
+      auto seq = core_.acked_view().first_clear(static_cast<std::size_t>(tcp_cursor_));
+      if (!seq && outstanding == 0) {
+        // One full pass done and nothing in flight: any remaining holes
+        // mean the FOBS acks lag; rescan from the start.
+        tcp_cursor_ = 0;
+        seq = core_.acked_view().first_clear(0);
+      }
+      if (!seq) break;
+      tcp_cursor_ = static_cast<PacketSeq>(*seq) + 1;
+      const std::int64_t len = spec_.payload_bytes(static_cast<PacketSeq>(*seq));
+      DataPacketPayload payload;
+      payload.seq = static_cast<PacketSeq>(*seq);
+      payload.len = static_cast<std::int32_t>(len);
+      payload.data = data_ != nullptr ? data_ + spec_.offset_of(payload.seq) : nullptr;
+      core_.record_external_send(payload.seq);
+      ++packets_via_tcp_;
+      tcp_data_->send_message(len + kDataHeaderBytes, payload);
+    }
+  }
+  // Fold in any FOBS acknowledgements that arrived meanwhile.
+  while (auto pkt = ack_in_.try_recv()) {
+    if (const auto* ack = std::any_cast<AckPacketPayload>(&pkt->payload)) {
+      if (ack->ack != nullptr) core_.on_ack(*ack->ack);
+    }
+  }
+  host_.network().sim().schedule_in(Duration::milliseconds(2), [this] { pump_tcp(); });
+}
+
+void SimSender::probe_tick() {
+  if (finished_ || mode_ != Mode::kTcpFallback) return;
+  const auto& adaptive = core_.config().adaptive;
+  const std::uint64_t rtx = tcp_data_->stats().retransmissions;
+  if (rtx == probe_rtx_snapshot_) {
+    ++probe_clear_streak_;
+  } else {
+    probe_clear_streak_ = 0;
+  }
+  probe_rtx_snapshot_ = rtx;
+  if (probe_clear_streak_ >= adaptive.fallback_clear_probes) {
+    exit_fallback();
+    return;
+  }
+  host_.network().sim().schedule_in(adaptive.fallback_probe_interval,
+                                    [this] { probe_tick(); });
+}
+
+// ---------------------------------------------------------------------------
+// SimReceiver
+// ---------------------------------------------------------------------------
+
+SimReceiver::SimReceiver(Host& host, TransferSpec spec, ReceiverConfig config,
+                         std::uint8_t* buffer, NodeId sender_node,
+                         std::int64_t socket_buffer_bytes, PortId port_base)
+    : host_(host),
+      spec_(spec),
+      core_(spec, config),
+      buffer_(buffer),
+      sender_node_(sender_node),
+      port_base_(port_base),
+      data_in_(host, static_cast<PortId>(port_base + kDataPortOffset), socket_buffer_bytes),
+      ack_out_(host),
+      control_conn_(host, control_channel_config()),
+      fallback_listener_(host, static_cast<PortId>(port_base + kTcpDataPortOffset),
+                         control_channel_config(),
+                         [this](std::unique_ptr<fobs::net::TcpConnection> conn) {
+                           fallback_conn_ = std::move(conn);
+                           fallback_conn_->set_on_message(
+                               [this](const std::any& m) { on_tcp_data(m); });
+                         }) {}
+
+void SimReceiver::start() {
+  if (started_) return;
+  started_ = true;
+  control_conn_.connect(sender_node_,
+                        static_cast<PortId>(port_base_ + kCompletionPortOffset));
+  step();
+}
+
+Duration SimReceiver::process_packet(const DataPacketPayload& payload) {
+  auto& sim = host_.network().sim();
+  Duration busy =
+      host_.cpu().recv_cost(fobs::util::DataSize::bytes(payload.len + kDataHeaderBytes));
+  const auto result = core_.on_data_packet(payload.seq);
+  if (result.newly_received && buffer_ != nullptr && payload.data != nullptr) {
+    std::memcpy(buffer_ + spec_.offset_of(payload.seq), payload.data,
+                static_cast<std::size_t>(payload.len));
+  }
+  if (result.ack_due) {
+    // Building + sending the ACK stalls the poll loop — the Figure 1
+    // mechanism. The ACK itself is best-effort UDP.
+    busy += host_.cpu().ack_build;
+    auto ack = std::make_shared<const AckMessage>(core_.make_ack());
+    const std::int64_t bytes = ack->wire_bytes();
+    if (ack_out_.send_to(sender_node_, static_cast<PortId>(port_base_ + kAckPortOffset),
+                         bytes, AckPacketPayload{std::move(ack)})) {
+      ++acks_sent_;
+      busy += host_.cpu().send_cost(fobs::util::DataSize::bytes(bytes));
+    }
+  }
+  if (result.just_completed) {
+    completed_at_ = sim.now();
+    control_conn_.send_message(kCompletionSignalBytes,
+                               CompletionSignal{core_.stats().packets_received});
+    FOBS_DEBUG("fobs.receiver", "object complete at " << completed_at_.seconds() << "s");
+  }
+  return busy;
+}
+
+void SimReceiver::on_tcp_data(const std::any& message) {
+  // Fallback-channel arrivals are pushed by the TCP stack rather than
+  // pulled by the poll loop; the CPU accounting is simplified to the
+  // same per-packet cost without the socket-buffer overflow model (TCP
+  // is flow-controlled, so the receiver can never be overrun).
+  const auto* payload = std::any_cast<DataPacketPayload>(&message);
+  if (payload == nullptr) return;
+  process_packet(*payload);
+}
+
+void SimReceiver::step() {
+  auto& sim = host_.network().sim();
+  auto pkt = data_in_.try_recv();
+  if (!pkt) {
+    data_in_.set_rx_notify([this] { step(); });
+    return;
+  }
+  const auto* payload = std::any_cast<DataPacketPayload>(&pkt->payload);
+  if (payload == nullptr) {
+    sim.schedule_in(Duration::nanoseconds(500), [this] { step(); });
+    return;
+  }
+  const Duration busy = process_packet(*payload);
+  sim.schedule_at(host_.reserve_cpu(std::max(busy, Duration::nanoseconds(500))),
+                  [this] { step(); });
+}
+
+}  // namespace fobs::core

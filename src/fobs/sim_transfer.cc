@@ -1,0 +1,80 @@
+#include "fobs/sim_transfer.h"
+
+#include <cstring>
+
+#include "common/rng.h"
+
+namespace fobs::core {
+
+std::vector<std::uint8_t> make_pattern(std::int64_t bytes, std::uint64_t seed) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(bytes));
+  fobs::util::Rng rng(seed);
+  // Fill 8 bytes at a time; the tail reuses one final draw.
+  std::size_t i = 0;
+  for (; i + 8 <= data.size(); i += 8) {
+    const std::uint64_t v = rng.next();
+    std::memcpy(data.data() + i, &v, 8);
+  }
+  if (i < data.size()) {
+    const std::uint64_t v = rng.next();
+    std::memcpy(data.data() + i, &v, data.size() - i);
+  }
+  return data;
+}
+
+SimTransferResult run_sim_transfer(fobs::sim::Network& network, fobs::host::Host& sender_host,
+                                   fobs::host::Host& receiver_host,
+                                   const SimTransferConfig& config) {
+  auto& sim = network.sim();
+  const TimePoint start = sim.now();
+  const TimePoint deadline = start + config.timeout;
+
+  std::vector<std::uint8_t> object;
+  std::vector<std::uint8_t> sink;
+  if (config.carry_data) {
+    object = make_pattern(config.spec.object_bytes, config.data_seed);
+    sink.assign(static_cast<std::size_t>(config.spec.object_bytes), 0);
+  }
+
+  SimSender sender(sender_host, config.spec, config.sender,
+                   config.carry_data ? object.data() : nullptr, receiver_host.id());
+  SimReceiver receiver(receiver_host, config.spec, config.receiver,
+                       config.carry_data ? sink.data() : nullptr, sender_host.id(),
+                       config.receiver_socket_buffer_bytes);
+
+  bool done = false;
+  sender.set_on_finished([&done] { done = true; });
+
+  receiver.start();
+  sender.start();
+
+  while (!done && sim.now() < deadline && sim.step()) {
+  }
+
+  SimTransferResult result;
+  result.completed = sender.finished();
+  result.packets_needed = config.spec.packet_count();
+  result.packets_sent = sender.core().stats().packets_sent;
+  result.waste = sender.core().waste();
+  result.receiver_socket_drops = receiver.socket_drops();
+  result.acks_sent = receiver.acks_sent();
+  result.duplicates_at_receiver = receiver.core().stats().duplicates;
+  if (receiver.complete()) {
+    result.receiver_elapsed = receiver.completed_at() - start;
+    if (result.receiver_elapsed > Duration::zero()) {
+      result.goodput_mbps =
+          fobs::util::rate_of(fobs::util::DataSize::bytes(config.spec.object_bytes),
+                              result.receiver_elapsed)
+              .mbps();
+    }
+  }
+  if (sender.finished()) {
+    result.sender_elapsed = sender.finished_at() - start;
+  }
+  if (config.carry_data && receiver.complete()) {
+    result.data_verified = object == sink;
+  }
+  return result;
+}
+
+}  // namespace fobs::core

@@ -1,0 +1,62 @@
+// One-call FOBS object transfer between two simulated hosts.
+//
+// Owns the object buffers, wires SimSender/SimReceiver together, runs
+// the event loop to completion (or timeout), verifies data integrity,
+// and reports the metrics the paper's figures use.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fobs/sim_driver.h"
+#include "host/host.h"
+#include "sim/node.h"
+
+namespace fobs::core {
+
+struct SimTransferConfig {
+  TransferSpec spec{.object_bytes = 40 * 1024 * 1024, .packet_bytes = 1024};
+  SenderConfig sender;
+  ReceiverConfig receiver;
+  /// Receiver UDP socket buffer (overflow == loss during busy periods).
+  std::int64_t receiver_socket_buffer_bytes = 64 * 1024;
+  /// Give up after this much simulated time.
+  Duration timeout = Duration::seconds(600);
+  /// Allocate and verify real payload bytes (off = faster, size-only).
+  bool carry_data = true;
+  std::uint64_t data_seed = 0x5EED;
+};
+
+struct SimTransferResult {
+  bool completed = false;
+  /// Start -> receiver holds the whole object (goodput clock).
+  Duration receiver_elapsed = Duration::zero();
+  /// Start -> sender learns of completion (paper's "transfer done").
+  Duration sender_elapsed = Duration::zero();
+  double goodput_mbps = 0.0;
+  std::int64_t packets_needed = 0;
+  std::int64_t packets_sent = 0;
+  /// (sent - needed) / needed, the paper's wasted-resources metric.
+  double waste = 0.0;
+  std::uint64_t receiver_socket_drops = 0;
+  std::uint64_t acks_sent = 0;
+  std::int64_t duplicates_at_receiver = 0;
+  bool data_verified = false;  ///< true when carry_data and bytes match
+
+  /// Fraction of `max` achieved by goodput.
+  [[nodiscard]] double fraction_of(fobs::util::DataRate max) const {
+    if (max.is_zero()) return 0.0;
+    return goodput_mbps * 1e6 / max.bps();
+  }
+};
+
+/// Runs one FOBS transfer from `sender_host` to `receiver_host` over
+/// whatever topology already connects them in `network`.
+SimTransferResult run_sim_transfer(fobs::sim::Network& network, fobs::host::Host& sender_host,
+                                   fobs::host::Host& receiver_host,
+                                   const SimTransferConfig& config);
+
+/// Deterministic test pattern for payload verification.
+std::vector<std::uint8_t> make_pattern(std::int64_t bytes, std::uint64_t seed);
+
+}  // namespace fobs::core

@@ -1,0 +1,34 @@
+// Simulated wire payloads for FOBS traffic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "fobs/ack.h"
+#include "fobs/types.h"
+
+namespace fobs::core {
+
+/// One FOBS data packet. `data` points into the sender's object buffer
+/// (which outlives the simulation); a null pointer means a size-only run
+/// with no payload verification.
+struct DataPacketPayload {
+  PacketSeq seq = 0;
+  std::int32_t len = 0;
+  const std::uint8_t* data = nullptr;
+};
+
+/// One acknowledgement. Shared pointer keeps per-hop packet copies cheap.
+struct AckPacketPayload {
+  std::shared_ptr<const AckMessage> ack;
+};
+
+/// "All data received", sent once over the TCP control connection.
+struct CompletionSignal {
+  std::int64_t total_packets = 0;
+};
+
+/// Wire size of a completion signal message on the TCP stream.
+inline constexpr std::int64_t kCompletionSignalBytes = 16;
+
+}  // namespace fobs::core

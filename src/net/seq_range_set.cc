@@ -1,0 +1,95 @@
+#include "net/seq_range_set.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fobs::net {
+
+SeqRangeSet::Seq SeqRangeSet::insert(Seq begin, Seq end) {
+  assert(begin <= end);
+  if (begin == end) return 0;
+
+  Seq removed = 0;  // bytes covered by ranges merged away
+
+  // Find the first range that could overlap: the one before `begin`.
+  auto it = ranges_.upper_bound(begin);
+  if (it != ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= begin) {
+      // Overlaps/abuts the previous range; absorb it into the new one.
+      begin = prev->first;
+      end = std::max(end, prev->second);
+      it = prev;
+    }
+  }
+
+  // Merge all ranges starting within [begin, end].
+  while (it != ranges_.end() && it->first <= end) {
+    removed += it->second - it->first;
+    end = std::max(end, it->second);
+    it = ranges_.erase(it);
+  }
+
+  ranges_[begin] = end;
+  const Seq added = (end - begin) - removed;
+  covered_ += added;
+  return added;
+}
+
+void SeqRangeSet::erase_below(Seq seq) {
+  auto it = ranges_.begin();
+  while (it != ranges_.end() && it->first < seq) {
+    if (it->second <= seq) {
+      covered_ -= it->second - it->first;
+      it = ranges_.erase(it);
+    } else {
+      // Trim the front of this range.
+      const Seq new_begin = seq;
+      const Seq end = it->second;
+      covered_ -= new_begin - it->first;
+      ranges_.erase(it);
+      ranges_[new_begin] = end;
+      break;
+    }
+  }
+}
+
+bool SeqRangeSet::contains(Seq seq) const {
+  auto it = ranges_.upper_bound(seq);
+  if (it == ranges_.begin()) return false;
+  --it;
+  return seq >= it->first && seq < it->second;
+}
+
+bool SeqRangeSet::contains_range(Seq begin, Seq end) const {
+  if (begin >= end) return true;
+  auto it = ranges_.upper_bound(begin);
+  if (it == ranges_.begin()) return false;
+  --it;
+  return begin >= it->first && end <= it->second;
+}
+
+std::optional<SeqRangeSet::Seq> SeqRangeSet::contiguous_end_from(Seq seq) const {
+  auto it = ranges_.upper_bound(seq);
+  if (it == ranges_.begin()) return std::nullopt;
+  --it;
+  if (seq < it->first || seq >= it->second) return std::nullopt;
+  return it->second;
+}
+
+SeqRangeSet::Seq SeqRangeSet::first_missing(Seq from, Seq limit) const {
+  Seq probe = from;
+  while (probe < limit) {
+    auto cov = contiguous_end_from(probe);
+    if (!cov) return probe;
+    probe = *cov;
+  }
+  return limit;
+}
+
+void SeqRangeSet::clear() {
+  ranges_.clear();
+  covered_ = 0;
+}
+
+}  // namespace fobs::net

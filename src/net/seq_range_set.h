@@ -1,0 +1,61 @@
+// Ordered set of disjoint half-open byte ranges [begin, end).
+//
+// Used by the TCP receiver for out-of-order reassembly and by the SACK
+// sender scoreboard. Adjacent/overlapping inserts coalesce.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+namespace fobs::net {
+
+class SeqRangeSet {
+ public:
+  using Seq = std::int64_t;
+
+  struct Range {
+    Seq begin = 0;
+    Seq end = 0;
+    [[nodiscard]] Seq length() const { return end - begin; }
+    bool operator==(const Range&) const = default;
+  };
+
+  /// Inserts [begin, end), coalescing with neighbours.
+  /// Returns the number of bytes newly covered.
+  Seq insert(Seq begin, Seq end);
+
+  /// Removes all coverage below `seq` (cumulative ACK advanced).
+  void erase_below(Seq seq);
+
+  [[nodiscard]] bool contains(Seq seq) const;
+  /// True when [begin, end) is fully covered.
+  [[nodiscard]] bool contains_range(Seq begin, Seq end) const;
+
+  /// End of the range containing `seq`, if covered from exactly `seq`;
+  /// i.e. the new cumulative frontier after in-order delivery.
+  [[nodiscard]] std::optional<Seq> contiguous_end_from(Seq seq) const;
+
+  /// First byte >= `from` NOT covered, given an upper bound `limit`
+  /// (returns limit when everything below it is covered).
+  [[nodiscard]] Seq first_missing(Seq from, Seq limit) const;
+
+  [[nodiscard]] bool empty() const { return ranges_.empty(); }
+  [[nodiscard]] std::size_t range_count() const { return ranges_.size(); }
+  [[nodiscard]] Seq covered_bytes() const { return covered_; }
+  /// End of the highest range (0 when empty).
+  [[nodiscard]] Seq max_end() const { return ranges_.empty() ? 0 : ranges_.rbegin()->second; }
+
+  /// Iteration support (ascending by begin).
+  [[nodiscard]] auto begin() const { return ranges_.begin(); }
+  [[nodiscard]] auto end() const { return ranges_.end(); }
+
+  void clear();
+
+ private:
+  // key = range begin, value = range end
+  std::map<Seq, Seq> ranges_;
+  Seq covered_ = 0;
+};
+
+}  // namespace fobs::net

@@ -1,0 +1,56 @@
+#include "sim/flow_stats.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace fobs::sim {
+
+TimeSeriesProbe::TimeSeriesProbe(Simulation& sim, std::string name, Duration period,
+                                 std::function<double()> probe)
+    : sim_(sim), name_(std::move(name)), period_(period), probe_(std::move(probe)) {
+  sim_.schedule_in(period_, [this] { tick(); });
+}
+
+void TimeSeriesProbe::tick() {
+  if (!running_) return;
+  samples_.push_back(Sample{sim_.now(), probe_()});
+  sim_.schedule_in(period_, [this] { tick(); });
+}
+
+double TimeSeriesProbe::max() const {
+  double best = 0.0;
+  for (const auto& s : samples_) best = std::max(best, s.value);
+  return best;
+}
+
+double TimeSeriesProbe::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& s : samples_) sum += s.value;
+  return sum / static_cast<double>(samples_.size());
+}
+
+void RateMeter::record(TimePoint now, std::int64_t bytes) {
+  events_.emplace_back(now, bytes);
+  window_bytes_ += bytes;
+  total_ += bytes;
+  evict(now);
+}
+
+void RateMeter::evict(TimePoint now) const {
+  const TimePoint horizon = now - window_;
+  std::size_t drop = 0;
+  while (drop < events_.size() && events_[drop].first < horizon) {
+    window_bytes_ -= events_[drop].second;
+    ++drop;
+  }
+  if (drop > 0) events_.erase(events_.begin(), events_.begin() + static_cast<std::ptrdiff_t>(drop));
+}
+
+fobs::util::DataRate RateMeter::rate(TimePoint now) const {
+  evict(now);
+  if (window_ <= Duration::zero()) return fobs::util::DataRate::zero();
+  return fobs::util::rate_of(fobs::util::DataSize::bytes(window_bytes_), window_);
+}
+
+}  // namespace fobs::sim

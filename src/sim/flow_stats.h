@@ -1,0 +1,70 @@
+// Time-series recorder for simulation quantities.
+//
+// Samples a user-supplied probe at a fixed period on the simulated
+// clock; used to trace queue depths, rates, and cwnd evolution for the
+// ablation benches and debugging.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/simulation.h"
+
+namespace fobs::sim {
+
+class TimeSeriesProbe {
+ public:
+  struct Sample {
+    TimePoint when;
+    double value = 0.0;
+  };
+
+  /// Starts sampling `probe()` every `period`, beginning one period
+  /// from now. Sampling runs until the simulation ends or `stop()`.
+  TimeSeriesProbe(Simulation& sim, std::string name, Duration period,
+                  std::function<double()> probe);
+
+  void stop() { running_ = false; }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+  [[nodiscard]] double last() const { return samples_.empty() ? 0.0 : samples_.back().value; }
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+
+ private:
+  void tick();
+
+  Simulation& sim_;
+  std::string name_;
+  Duration period_;
+  std::function<double()> probe_;
+  bool running_ = true;
+  std::vector<Sample> samples_;
+};
+
+/// Windowed rate meter: feed it byte counts, read back the rate over
+/// the last `window` of simulated time.
+class RateMeter {
+ public:
+  explicit RateMeter(Duration window = fobs::util::Duration::milliseconds(100))
+      : window_(window) {}
+
+  void record(TimePoint now, std::int64_t bytes);
+
+  /// Average rate over [now - window, now].
+  [[nodiscard]] fobs::util::DataRate rate(TimePoint now) const;
+  [[nodiscard]] std::int64_t total_bytes() const { return total_; }
+
+ private:
+  void evict(TimePoint now) const;
+
+  Duration window_;
+  mutable std::vector<std::pair<TimePoint, std::int64_t>> events_;
+  mutable std::int64_t window_bytes_ = 0;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace fobs::sim

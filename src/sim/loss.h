@@ -1,0 +1,63 @@
+// Random-loss models attachable to links.
+//
+// Queue overflow (drop-tail) is modelled by the link itself; these models
+// add *random* corruption/loss on top, e.g. for lossy WAN segments. For
+// datagrams larger than the link MTU the models account for IP
+// fragmentation: the datagram survives only if every fragment survives,
+// which is what makes very large UDP packets fragile (Figure 3).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.h"
+#include "sim/packet.h"
+
+namespace fobs::sim {
+
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+  /// True when the packet should be dropped on this traversal.
+  virtual bool should_drop(const Packet& packet, fobs::util::Rng& rng) = 0;
+};
+
+/// Independent per-fragment loss with fixed probability.
+class BernoulliLoss final : public LossModel {
+ public:
+  /// @param per_fragment_loss probability a single <=MTU fragment is lost
+  /// @param mtu_bytes fragmentation threshold (payload view); 0 disables
+  ///        fragmentation accounting.
+  explicit BernoulliLoss(double per_fragment_loss, std::int64_t mtu_bytes = 1500);
+
+  bool should_drop(const Packet& packet, fobs::util::Rng& rng) override;
+
+ private:
+  double p_;
+  std::int64_t mtu_;
+};
+
+/// Two-state Gilbert-Elliott bursty loss: a good state with low loss and
+/// a bad state with high loss, with geometric dwell times.
+class GilbertElliottLoss final : public LossModel {
+ public:
+  GilbertElliottLoss(double p_good_to_bad, double p_bad_to_good, double loss_good,
+                     double loss_bad, std::int64_t mtu_bytes = 1500);
+
+  bool should_drop(const Packet& packet, fobs::util::Rng& rng) override;
+
+  [[nodiscard]] bool in_bad_state() const { return bad_; }
+
+ private:
+  double p_gb_;
+  double p_bg_;
+  double loss_good_;
+  double loss_bad_;
+  std::int64_t mtu_;
+  bool bad_ = false;
+};
+
+/// Number of <=MTU fragments a datagram of `size_bytes` occupies.
+[[nodiscard]] std::int64_t fragment_count(std::int64_t size_bytes, std::int64_t mtu_bytes);
+
+}  // namespace fobs::sim

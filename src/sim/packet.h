@@ -1,0 +1,50 @@
+// The unit of data that traverses simulated links.
+//
+// Protocol payloads are type-erased with std::any; protocol code stores a
+// small struct (or a shared_ptr to a larger one) and the receiving
+// endpoint any_casts it back. The wire `size_bytes` is what links charge
+// for serialization, independent of the C++ payload size.
+#pragma once
+
+#include <any>
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace fobs::sim {
+
+/// Identifies a node (host or router) in a Network.
+using NodeId = std::int32_t;
+inline constexpr NodeId kInvalidNodeId = -1;
+
+/// Transport-level demux key on a host (like a UDP/TCP port).
+using PortId = std::uint16_t;
+
+struct Packet {
+  std::uint64_t uid = 0;  ///< Unique per Network; assigned at send time.
+  NodeId src = kInvalidNodeId;
+  NodeId dst = kInvalidNodeId;
+  PortId src_port = 0;
+  PortId dst_port = 0;
+  /// Total wire size including transport/IP headers.
+  std::int64_t size_bytes = 0;
+  std::any payload;
+
+  [[nodiscard]] fobs::util::DataSize size() const {
+    return fobs::util::DataSize::bytes(size_bytes);
+  }
+};
+
+/// Anything that can accept a packet: links, routers, hosts.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void deliver(Packet packet) = 0;
+};
+
+/// Conventional header overheads (IPv4 + transport), used when
+/// converting payload sizes to wire sizes.
+inline constexpr std::int64_t kUdpIpOverheadBytes = 28;   // 20 IP + 8 UDP
+inline constexpr std::int64_t kTcpIpOverheadBytes = 40;   // 20 IP + 20 TCP
+
+}  // namespace fobs::sim

@@ -1,0 +1,57 @@
+#include "sim/packet_trace.h"
+
+#include <cassert>
+
+namespace fobs::sim {
+
+const char* to_string(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kEnqueued: return "enqueued";
+    case TraceEvent::Kind::kDropOverflow: return "drop-overflow";
+    case TraceEvent::Kind::kDropRandom: return "drop-random";
+    case TraceEvent::Kind::kDelivered: return "delivered";
+  }
+  return "?";
+}
+
+void PacketTrace::on_event(const TraceEvent& event) {
+  ++total_;
+  ++counts_[static_cast<std::size_t>(event.kind)];
+  if (events_.size() < max_events_) events_.push_back(event);
+}
+
+std::uint64_t PacketTrace::count(TraceEvent::Kind kind) const {
+  return counts_[static_cast<std::size_t>(kind)];
+}
+
+std::vector<std::uint64_t> PacketTrace::drops_per_bucket(fobs::util::Duration bucket,
+                                                         fobs::util::Duration horizon) const {
+  assert(bucket > fobs::util::Duration::zero());
+  const auto buckets = static_cast<std::size_t>(horizon.ns() / bucket.ns()) + 1;
+  std::vector<std::uint64_t> out(buckets, 0);
+  for (const auto& event : events_) {
+    if (event.kind != TraceEvent::Kind::kDropOverflow &&
+        event.kind != TraceEvent::Kind::kDropRandom) {
+      continue;
+    }
+    const auto index = static_cast<std::size_t>(event.when.ns() / bucket.ns());
+    if (index < out.size()) ++out[index];
+  }
+  return out;
+}
+
+void PacketTrace::write_csv(std::ostream& os) const {
+  os << "time_s,kind,uid,size,src,dst\n";
+  for (const auto& event : events_) {
+    os << event.when.seconds() << ',' << to_string(event.kind) << ',' << event.uid << ','
+       << event.size_bytes << ',' << event.src << ',' << event.dst << '\n';
+  }
+}
+
+void PacketTrace::clear() {
+  events_.clear();
+  total_ = 0;
+  for (auto& count : counts_) count = 0;
+}
+
+}  // namespace fobs::sim

@@ -1,0 +1,74 @@
+// Per-packet event tracing on links.
+//
+// Attach a PacketTrace to any Link to record enqueue/drop/deliver
+// events with timestamps — the simulator's analogue of tcpdump on a
+// router port. Bounded capacity; counting continues after the event
+// log fills.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/packet.h"
+
+namespace fobs::sim {
+
+class Link;
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kEnqueued,      ///< accepted into the link queue
+    kDropOverflow,  ///< drop-tail
+    kDropRandom,    ///< loss model
+    kDelivered,     ///< handed to the downstream sink
+  };
+
+  fobs::util::TimePoint when;
+  Kind kind = Kind::kEnqueued;
+  std::uint64_t uid = 0;
+  std::int64_t size_bytes = 0;
+  NodeId src = kInvalidNodeId;
+  NodeId dst = kInvalidNodeId;
+};
+
+[[nodiscard]] const char* to_string(TraceEvent::Kind kind);
+
+/// Receives link events; attach with Link::set_observer.
+class LinkObserver {
+ public:
+  virtual ~LinkObserver() = default;
+  virtual void on_event(const TraceEvent& event) = 0;
+};
+
+/// Standard observer: bounded event log plus per-kind counters.
+class PacketTrace final : public LinkObserver {
+ public:
+  explicit PacketTrace(std::size_t max_events = 100'000) : max_events_(max_events) {}
+
+  void on_event(const TraceEvent& event) override;
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] std::uint64_t count(TraceEvent::Kind kind) const;
+  [[nodiscard]] std::uint64_t total_events() const { return total_; }
+  [[nodiscard]] bool truncated() const { return total_ > events_.size(); }
+
+  /// Drop events bucketed by time (for drop-timeline summaries).
+  [[nodiscard]] std::vector<std::uint64_t> drops_per_bucket(
+      fobs::util::Duration bucket, fobs::util::Duration horizon) const;
+
+  /// CSV: time_s,kind,uid,size,src,dst
+  void write_csv(std::ostream& os) const;
+
+  void clear();
+
+ private:
+  std::size_t max_events_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t total_ = 0;
+  std::uint64_t counts_[4] = {0, 0, 0, 0};
+};
+
+}  // namespace fobs::sim

@@ -1,0 +1,101 @@
+// Tests for the full Abilene topology and the dumbbell-reduction
+// validation.
+#include <gtest/gtest.h>
+
+#include <any>
+
+#include "exp/abilene.h"
+#include "exp/runner.h"
+#include "fobs/sim_transfer.h"
+#include "net/udp.h"
+
+namespace fobs::exp {
+namespace {
+
+TEST(Abilene, PathDelaysMatchThePaperRtts) {
+  AbileneNetwork net;
+  EXPECT_NEAR(net.path_delay(Site::kAnl, Site::kLcse).seconds() * 2, 0.026, 0.001);
+  EXPECT_NEAR(net.path_delay(Site::kAnl, Site::kCacr).seconds() * 2, 0.065, 0.001);
+  EXPECT_NEAR(net.path_delay(Site::kNcsa, Site::kCacr).seconds() * 2, 0.062, 0.004);
+  // Symmetric.
+  EXPECT_EQ(net.path_delay(Site::kAnl, Site::kCacr).ns(),
+            net.path_delay(Site::kCacr, Site::kAnl).ns());
+}
+
+TEST(Abilene, RoutesAreMultiHop) {
+  AbileneNetwork net;
+  EXPECT_EQ(net.backbone_hops(Site::kAnl, Site::kLcse), 1);   // IPLS->KSCY
+  EXPECT_EQ(net.backbone_hops(Site::kAnl, Site::kCacr), 4);   // IPLS->KSCY->DNVR->SNVA->LOSA
+  EXPECT_EQ(net.backbone_hops(Site::kAnl, Site::kNcsa), 0);   // same PoP
+}
+
+TEST(Abilene, DatagramActuallyTraversesTheRoutedPath) {
+  AbileneNetwork net;
+  auto& anl = net.site_host(Site::kAnl);
+  auto& cacr = net.site_host(Site::kCacr);
+  fobs::net::UdpEndpoint tx(anl, 9000);
+  fobs::net::UdpEndpoint rx(cacr, 9001);
+  tx.send_to(cacr.id(), 9001, 100, std::string("cross-country"));
+  util::TimePoint arrival;
+  bool got = false;
+  rx.set_rx_notify([&] {
+    arrival = net.sim().now();
+    got = true;
+  });
+  net.sim().run();
+  ASSERT_TRUE(got);
+  EXPECT_NEAR(arrival.seconds(), net.path_delay(Site::kAnl, Site::kCacr).seconds(), 0.001);
+}
+
+TEST(Abilene, FobsTransferMatchesTheDumbbellReduction) {
+  // ANL -> LCSE over the routed backbone vs. the short-haul dumbbell:
+  // the bottleneck (ANL's 100 Mb/s NIC) and the RTT are the same, so
+  // the goodput should agree closely — validating the abstraction the
+  // main benchmarks rely on.
+  AbileneNetwork net;
+  core::SimTransferConfig config;
+  config.spec.object_bytes = 8 * 1024 * 1024;
+  const auto routed = core::run_sim_transfer(net.network(), net.site_host(Site::kAnl),
+                                             net.site_host(Site::kLcse), config);
+  ASSERT_TRUE(routed.completed);
+
+  auto spec = spec_for(PathId::kShortHaul);
+  spec.fwd_loss = 0;
+  spec.rev_loss = 0;
+  Testbed bed(spec);
+  const auto dumbbell = core::run_sim_transfer(bed.network(), bed.src(), bed.dst(), config);
+  ASSERT_TRUE(dumbbell.completed);
+
+  EXPECT_NEAR(routed.goodput_mbps, dumbbell.goodput_mbps, dumbbell.goodput_mbps * 0.05);
+}
+
+TEST(Abilene, BackgroundTrafficFlowsAndIsAbsorbed) {
+  AbileneNetwork net(9);
+  net.add_background_traffic(10, util::DataRate::megabits_per_second(200),
+                             util::Duration::milliseconds(30),
+                             util::Duration::milliseconds(90));
+  net.sim().run_until(util::TimePoint::from_ns(util::Duration::seconds(1).ns()));
+  // Background packets were offered and none leaked into site hosts.
+  std::uint64_t dropped_at_sites = 0;
+  for (Site site : {Site::kAnl, Site::kLcse, Site::kCacr, Site::kNcsa}) {
+    dropped_at_sites += net.site_host(site).no_port_drops();
+  }
+  EXPECT_EQ(dropped_at_sites, 0u);
+}
+
+TEST(Abilene, BackboneLossAffectsTransfers) {
+  AbileneNetwork net(5);
+  net.set_backbone_loss(0.01);
+  core::SimTransferConfig config;
+  config.spec.object_bytes = 2 * 1024 * 1024;
+  config.carry_data = true;
+  const auto result = core::run_sim_transfer(net.network(), net.site_host(Site::kAnl),
+                                             net.site_host(Site::kCacr), config);
+  ASSERT_TRUE(result.completed);
+  EXPECT_TRUE(result.data_verified);
+  // 4 backbone hops at 1% each: ~4% packet loss -> visible waste.
+  EXPECT_GT(result.waste, 0.02);
+}
+
+}  // namespace
+}  // namespace fobs::exp

@@ -1,0 +1,72 @@
+// Robustness fuzz for the POSIX wire codec: random bytes must never
+// crash the decoders, and valid encodings must survive random mutation
+// without being mis-parsed into out-of-range values.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "fobs/posix/codec.h"
+
+namespace fobs::posix {
+namespace {
+
+class CodecFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecFuzz, RandomBytesNeverCrashDecoders) {
+  util::Rng rng(GetParam());
+  for (int iteration = 0; iteration < 2000; ++iteration) {
+    const auto len = static_cast<std::size_t>(rng.uniform_int(0, 512));
+    std::vector<std::uint8_t> junk(len);
+    for (auto& byte : junk) byte = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    // Either decoder may return nullopt or a value; it must not crash
+    // or read out of bounds (ASAN-visible if it did).
+    (void)decode_data_header(junk.data(), junk.size());
+    (void)decode_ack(junk.data(), junk.size());
+  }
+}
+
+TEST_P(CodecFuzz, MutatedAcksEitherRejectOrStayInBounds) {
+  util::Rng rng(GetParam() + 1000);
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    core::AckMessage ack;
+    ack.ack_no = rng.next();
+    ack.total_received = rng.uniform_int(0, 1 << 20);
+    ack.frontier = rng.uniform_int(0, 1 << 20);
+    ack.fragment_start = rng.uniform_int(0, 1 << 20);
+    ack.fragment_bits = static_cast<std::int32_t>(rng.uniform_int(0, 512));
+    ack.fragment.resize((static_cast<std::size_t>(ack.fragment_bits) + 7) / 8);
+    auto wire = encode_ack(ack);
+    // Flip one random byte.
+    const auto victim = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(wire.size()) - 1));
+    wire[victim] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+    const auto decoded = decode_ack(wire.data(), wire.size());
+    if (decoded) {
+      // The fragment length must always be consistent with its declared
+      // bit count (the invariant the receiver-side merge relies on).
+      EXPECT_GE(decoded->fragment.size() * 8,
+                static_cast<std::size_t>(std::max(0, static_cast<int>(decoded->fragment_bits))));
+    }
+  }
+}
+
+TEST_P(CodecFuzz, TruncationsAreAlwaysRejectedOrConsistent) {
+  util::Rng rng(GetParam() + 2000);
+  core::AckMessage ack;
+  ack.fragment_bits = 256;
+  ack.fragment.resize(32, 0x5A);
+  const auto wire = encode_ack(ack);
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    const auto decoded = decode_ack(wire.data(), cut);
+    if (decoded) {
+      EXPECT_GE(decoded->fragment.size() * 8,
+                static_cast<std::size_t>(decoded->fragment_bits));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace fobs::posix

@@ -1,0 +1,62 @@
+// Unit tests for the time-series probe and rate meter.
+#include <gtest/gtest.h>
+
+#include "sim/flow_stats.h"
+#include "sim/simulation.h"
+
+namespace fobs::sim {
+namespace {
+
+using util::DataSize;
+using util::Duration;
+using util::TimePoint;
+
+TEST(TimeSeriesProbe, SamplesAtFixedPeriod) {
+  Simulation sim;
+  int counter = 0;
+  sim.schedule_in(Duration::milliseconds(5), [&] { counter = 10; });
+  TimeSeriesProbe probe(sim, "counter", Duration::milliseconds(2),
+                        [&] { return static_cast<double>(counter); });
+  sim.run_until(TimePoint::from_ns(Duration::milliseconds(10).ns()));
+  ASSERT_EQ(probe.samples().size(), 5u);
+  EXPECT_EQ(probe.samples()[0].when.ms(), 2);
+  EXPECT_DOUBLE_EQ(probe.samples()[0].value, 0.0);   // before the bump
+  EXPECT_DOUBLE_EQ(probe.samples()[3].value, 10.0);  // after it
+  EXPECT_DOUBLE_EQ(probe.last(), 10.0);
+  EXPECT_DOUBLE_EQ(probe.max(), 10.0);
+  EXPECT_DOUBLE_EQ(probe.mean(), (0 + 0 + 10 + 10 + 10) / 5.0);
+}
+
+TEST(TimeSeriesProbe, StopEndsSampling) {
+  Simulation sim;
+  TimeSeriesProbe probe(sim, "x", Duration::milliseconds(1), [] { return 1.0; });
+  sim.run_until(TimePoint::from_ns(Duration::milliseconds(3).ns()));
+  probe.stop();
+  const auto count = probe.samples().size();
+  sim.run_until(TimePoint::from_ns(Duration::milliseconds(10).ns()));
+  EXPECT_EQ(probe.samples().size(), count);
+}
+
+TEST(RateMeter, WindowedRate) {
+  RateMeter meter(Duration::milliseconds(100));
+  TimePoint t = TimePoint::zero();
+  // 10 KB over 100 ms = 800 kb/s.
+  for (int i = 0; i < 10; ++i) {
+    meter.record(t, 1000);
+    t = t + Duration::milliseconds(10);
+  }
+  EXPECT_NEAR(meter.rate(t).bps(), 10'000 * 8.0 / 0.1, 10'000);
+  EXPECT_EQ(meter.total_bytes(), 10'000);
+}
+
+TEST(RateMeter, OldEventsFallOutOfTheWindow) {
+  RateMeter meter(Duration::milliseconds(50));
+  meter.record(TimePoint::zero(), 100'000);
+  // Much later, the burst no longer counts.
+  const TimePoint later = TimePoint::zero() + Duration::seconds(1);
+  EXPECT_DOUBLE_EQ(meter.rate(later).bps(), 0.0);
+  EXPECT_EQ(meter.total_bytes(), 100'000);  // lifetime total unaffected
+}
+
+}  // namespace
+}  // namespace fobs::sim

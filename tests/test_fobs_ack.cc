@@ -1,0 +1,124 @@
+// Unit tests for the FOBS ACK builder/applier.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fobs/ack.h"
+
+namespace fobs::core {
+namespace {
+
+using util::Bitmap;
+
+TEST(AckBuilder, EmptyReceiverReportsNothing) {
+  Bitmap received(1000);
+  AckBuilder builder(1000, 1024);
+  const auto ack = builder.build(received, 0, 0);
+  EXPECT_EQ(ack.ack_no, 1u);
+  EXPECT_EQ(ack.frontier, 0);
+  EXPECT_FALSE(ack.complete);
+  EXPECT_GT(ack.fragment_bits, 0);  // it still reports the (empty) window
+}
+
+TEST(AckBuilder, AckNumbersIncrease) {
+  Bitmap received(100);
+  AckBuilder builder(100, 1024);
+  EXPECT_EQ(builder.build(received, 0, 0).ack_no, 1u);
+  EXPECT_EQ(builder.build(received, 0, 0).ack_no, 2u);
+  EXPECT_EQ(builder.build(received, 0, 0).ack_no, 3u);
+}
+
+TEST(AckBuilder, CompleteAckHasNoFragment) {
+  Bitmap received(100);
+  received.set_all();
+  AckBuilder builder(100, 1024);
+  const auto ack = builder.build(received, 100, 100);
+  EXPECT_TRUE(ack.complete);
+  EXPECT_EQ(ack.fragment_bits, 0);
+  EXPECT_TRUE(ack.fragment.empty());
+}
+
+TEST(AckBuilder, FragmentSizeBoundedByPayload) {
+  Bitmap received(100000);
+  // 128-byte payload: 128-32 = 96 bytes -> 768 bits per fragment.
+  AckBuilder builder(100000, 128);
+  EXPECT_EQ(builder.fragment_capacity_bits(), 768);
+  const auto ack = builder.build(received, 0, 0);
+  EXPECT_EQ(ack.fragment_bits, 768);
+  EXPECT_LE(ack.wire_bytes(), 128);
+}
+
+TEST(AckBuilder, RotationCoversTheWholeObject) {
+  const std::int64_t n = 10000;
+  Bitmap received(static_cast<std::size_t>(n));
+  // Scattered packets received, none contiguous from zero.
+  for (std::int64_t i = 1; i < n; i += 7) received.set(static_cast<std::size_t>(i));
+  AckBuilder builder(n, 256);  // small fragments force many rotations
+  Bitmap view(static_cast<std::size_t>(n));
+  // After enough ACKs the sender's view must equal the receiver's state.
+  for (int k = 0; k < 64; ++k) {
+    const auto ack =
+        builder.build(received, 0, static_cast<std::int64_t>(received.count()));
+    apply_ack(ack, view);
+  }
+  EXPECT_EQ(view.count(), received.count());
+  for (std::int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(view.test(static_cast<std::size_t>(i)),
+              received.test(static_cast<std::size_t>(i)));
+  }
+}
+
+TEST(ApplyAck, FrontierMarksEverythingBelow) {
+  Bitmap view(1000);
+  AckMessage ack;
+  ack.frontier = 500;
+  EXPECT_EQ(apply_ack(ack, view), 500);
+  EXPECT_EQ(view.count(), 500u);
+  EXPECT_TRUE(view.test(499));
+  EXPECT_FALSE(view.test(500));
+  // Re-applying adds nothing.
+  EXPECT_EQ(apply_ack(ack, view), 0);
+}
+
+TEST(ApplyAck, FragmentMergesNewBitsOnly) {
+  Bitmap view(100);
+  view.set(10);
+  Bitmap received(100);
+  received.set(10);
+  received.set(11);
+  received.set(50);
+  AckMessage ack;
+  ack.fragment_start = 0;
+  ack.fragment_bits = 100;
+  ack.fragment = received.extract_range(0, 100);
+  EXPECT_EQ(apply_ack(ack, view), 2);  // 11 and 50; 10 already known
+  EXPECT_TRUE(view.test(11));
+  EXPECT_TRUE(view.test(50));
+}
+
+TEST(ApplyAck, CompleteFillsView) {
+  Bitmap view(1000);
+  view.set(3);
+  AckMessage ack;
+  ack.complete = true;
+  EXPECT_EQ(apply_ack(ack, view), 999);
+  EXPECT_TRUE(view.all_set());
+}
+
+TEST(ApplyAck, FrontierFastPathSkipsKnownPrefix) {
+  Bitmap view(10000);
+  for (std::size_t i = 0; i < 5000; ++i) view.set(i);
+  AckMessage ack;
+  ack.frontier = 6000;
+  EXPECT_EQ(apply_ack(ack, view), 1000);
+  EXPECT_EQ(view.count(), 6000u);
+}
+
+TEST(AckWireBytes, AccountsHeaderAndFragment) {
+  AckMessage ack;
+  EXPECT_EQ(ack.wire_bytes(), kAckHeaderBytes);
+  ack.fragment.resize(100);
+  EXPECT_EQ(ack.wire_bytes(), kAckHeaderBytes + 100);
+}
+
+}  // namespace
+}  // namespace fobs::core

@@ -1,0 +1,159 @@
+// Unit tests for loss models and cross-traffic generators.
+#include <gtest/gtest.h>
+
+#include "sim/cross_traffic.h"
+#include "sim/link.h"
+#include "sim/loss.h"
+#include "sim/node.h"
+#include "sim/simulation.h"
+
+namespace fobs::sim {
+namespace {
+
+using fobs::util::DataRate;
+using fobs::util::Duration;
+using fobs::util::Rng;
+
+Packet sized_packet(std::int64_t bytes) {
+  Packet pkt;
+  pkt.size_bytes = bytes;
+  return pkt;
+}
+
+TEST(LossModels, FragmentCount) {
+  EXPECT_EQ(fragment_count(100, 1500), 1);
+  EXPECT_EQ(fragment_count(1500, 1500), 1);
+  EXPECT_EQ(fragment_count(1501, 1500), 2);
+  EXPECT_EQ(fragment_count(32768, 1500), 22);
+  EXPECT_EQ(fragment_count(9000, 0), 1);  // fragmentation disabled
+}
+
+TEST(LossModels, BernoulliZeroAndOne) {
+  Rng rng(1);
+  BernoulliLoss none(0.0);
+  BernoulliLoss all(1.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(none.should_drop(sized_packet(1000), rng));
+    EXPECT_TRUE(all.should_drop(sized_packet(1000), rng));
+  }
+}
+
+TEST(LossModels, BernoulliRate) {
+  Rng rng(2);
+  BernoulliLoss loss(0.1);
+  int drops = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) drops += loss.should_drop(sized_packet(1000), rng) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.1, 0.01);
+}
+
+TEST(LossModels, FragmentationAmplifiesLoss) {
+  // A 32 KB datagram fragments into 22 pieces; with per-fragment loss p
+  // its survival is (1-p)^22, so its drop rate is much higher.
+  Rng rng1(3), rng2(3);
+  BernoulliLoss loss_small(0.01, 1500);
+  BernoulliLoss loss_big(0.01, 1500);
+  int small_drops = 0, big_drops = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    small_drops += loss_small.should_drop(sized_packet(1000), rng1) ? 1 : 0;
+    big_drops += loss_big.should_drop(sized_packet(32768), rng2) ? 1 : 0;
+  }
+  const double p_small = static_cast<double>(small_drops) / n;
+  const double p_big = static_cast<double>(big_drops) / n;
+  EXPECT_NEAR(p_small, 0.01, 0.005);
+  EXPECT_NEAR(p_big, 1.0 - std::pow(0.99, 22), 0.02);
+  EXPECT_GT(p_big, 5 * p_small);
+}
+
+TEST(LossModels, GilbertElliottBurstiness) {
+  // Bad state drops heavily; dwell times are geometric, so drops come
+  // in runs. Check aggregate rate is between the two states' rates.
+  Rng rng(4);
+  GilbertElliottLoss ge(/*p_good_to_bad=*/0.001, /*p_bad_to_good=*/0.05,
+                        /*loss_good=*/0.0, /*loss_bad=*/0.5);
+  int drops = 0;
+  const int n = 200000;
+  int run_max = 0, run = 0;
+  for (int i = 0; i < n; ++i) {
+    if (ge.should_drop(sized_packet(1000), rng)) {
+      ++drops;
+      run_max = std::max(run_max, ++run);
+    } else {
+      run = 0;
+    }
+  }
+  const double rate = static_cast<double>(drops) / n;
+  // Stationary bad-state fraction = 0.001/(0.001+0.05) ~ 1.96%; times
+  // 50% loss => ~1% aggregate.
+  EXPECT_NEAR(rate, 0.0098, 0.004);
+  EXPECT_GE(run_max, 3);  // losses cluster
+}
+
+TEST(CrossTraffic, CbrOfferedLoadMatchesRate) {
+  Simulation sim;
+  fobs::sim::Network net(sim);
+  auto& sink_node = net.add_blackhole("sink");
+  CbrSource cbr(sim, sink_node, 100, sink_node.id(), 1000,
+                DataRate::megabits_per_second(8), Rng(5));
+  cbr.start();
+  sim.run_until(fobs::util::TimePoint::from_ns(Duration::seconds(1).ns()));
+  // 8 Mb/s with 1000 B packets = 1000 packets/s.
+  EXPECT_NEAR(static_cast<double>(cbr.stats().packets_sent), 1000.0, 2.0);
+  EXPECT_EQ(sink_node.packets_received(), cbr.stats().packets_sent);
+}
+
+TEST(CrossTraffic, PoissonMeanRate) {
+  Simulation sim;
+  fobs::sim::Network net(sim);
+  auto& sink_node = net.add_blackhole("sink");
+  PoissonSource src(sim, sink_node, 100, sink_node.id(), 1000,
+                    DataRate::megabits_per_second(8), Rng(6));
+  src.start();
+  sim.run_until(fobs::util::TimePoint::from_ns(Duration::seconds(5).ns()));
+  EXPECT_NEAR(static_cast<double>(src.stats().packets_sent) / 5.0, 1000.0, 50.0);
+}
+
+TEST(CrossTraffic, OnOffAverageLoadIsDutyCycleFraction) {
+  Simulation sim;
+  fobs::sim::Network net(sim);
+  auto& sink_node = net.add_blackhole("sink");
+  // Peak 40 Mb/s, on 50 ms / off 150 ms => ~25% duty => ~10 Mb/s avg.
+  OnOffSource src(sim, sink_node, 100, sink_node.id(), 1000,
+                  DataRate::megabits_per_second(40), Duration::milliseconds(50),
+                  Duration::milliseconds(150), Rng(7));
+  src.start();
+  sim.run_until(fobs::util::TimePoint::from_ns(Duration::seconds(20).ns()));
+  const double avg_mbps =
+      static_cast<double>(src.stats().bytes_sent) * 8.0 / 20.0 / 1e6;
+  EXPECT_NEAR(avg_mbps, 10.0, 3.0);
+}
+
+TEST(CrossTraffic, StopHaltsEmission) {
+  Simulation sim;
+  fobs::sim::Network net(sim);
+  auto& sink_node = net.add_blackhole("sink");
+  CbrSource cbr(sim, sink_node, 100, sink_node.id(), 1000,
+                DataRate::megabits_per_second(8), Rng(8));
+  cbr.start();
+  sim.run_until(fobs::util::TimePoint::from_ns(Duration::milliseconds(100).ns()));
+  cbr.stop();
+  const auto sent = cbr.stats().packets_sent;
+  sim.run_until(fobs::util::TimePoint::from_ns(Duration::seconds(1).ns()));
+  EXPECT_LE(cbr.stats().packets_sent, sent + 1);  // at most one in-flight event
+}
+
+TEST(CrossTraffic, StartIsIdempotent) {
+  Simulation sim;
+  fobs::sim::Network net(sim);
+  auto& sink_node = net.add_blackhole("sink");
+  CbrSource cbr(sim, sink_node, 100, sink_node.id(), 1000,
+                DataRate::megabits_per_second(8), Rng(9));
+  cbr.start();
+  cbr.start();  // must not double the rate
+  sim.run_until(fobs::util::TimePoint::from_ns(Duration::seconds(1).ns()));
+  EXPECT_NEAR(static_cast<double>(cbr.stats().packets_sent), 1000.0, 2.0);
+}
+
+}  // namespace
+}  // namespace fobs::sim

@@ -1,0 +1,105 @@
+// Concurrent FOBS transfers between the same host pair (distinct port
+// bases): they must all complete, share the NIC, and contend for the
+// hosts' CPUs.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "exp/testbeds.h"
+#include "fobs/sim_driver.h"
+
+namespace fobs {
+namespace {
+
+using exp::PathId;
+using exp::Testbed;
+
+struct Flow {
+  std::unique_ptr<core::SimSender> sender;
+  std::unique_ptr<core::SimReceiver> receiver;
+  bool done = false;
+};
+
+double run_flows(int count, double* sum_seconds = nullptr) {
+  Testbed bed(PathId::kShortHaul);
+  auto& sim = bed.sim();
+  core::TransferSpec spec{4 * 1024 * 1024, 1024};
+  std::vector<Flow> flows(static_cast<std::size_t>(count));
+  int done = 0;
+  for (int i = 0; i < count; ++i) {
+    const auto base = static_cast<sim::PortId>(core::kFobsPortBase + 100 * i);
+    auto& flow = flows[static_cast<std::size_t>(i)];
+    flow.sender = std::make_unique<core::SimSender>(bed.src(), spec, core::SenderConfig{},
+                                                    nullptr, bed.dst().id(), base);
+    flow.receiver = std::make_unique<core::SimReceiver>(
+        bed.dst(), spec, core::ReceiverConfig{}, nullptr, bed.src().id(), 64 * 1024, base);
+    flow.sender->set_on_finished([&flow, &done] {
+      flow.done = true;
+      ++done;
+    });
+    flow.receiver->start();
+    flow.sender->start();
+  }
+  while (done < count && sim.now().seconds() < 300 && sim.step()) {
+  }
+  double last = 0.0;
+  double sum = 0.0;
+  for (auto& flow : flows) {
+    if (!flow.done || !flow.receiver->complete()) return -1.0;
+    last = std::max(last, flow.receiver->completed_at().seconds());
+    sum += flow.receiver->completed_at().seconds();
+  }
+  if (sum_seconds != nullptr) *sum_seconds = sum;
+  return last;
+}
+
+TEST(MultiTransfer, TwoConcurrentFlowsBothComplete) {
+  const double t = run_flows(2);
+  ASSERT_GT(t, 0.0);
+}
+
+TEST(MultiTransfer, ConcurrentFlowsShareTheNic) {
+  const double one = run_flows(1);
+  const double two = run_flows(2);
+  ASSERT_GT(one, 0.0);
+  ASSERT_GT(two, 0.0);
+  // Two 4 MB objects through one 100 Mb/s NIC take roughly twice as
+  // long as one; allow slack for interleaving effects.
+  EXPECT_GT(two, 1.6 * one);
+  EXPECT_LT(two, 2.6 * one);
+}
+
+TEST(MultiTransfer, FourFlowsFairAndComplete) {
+  Testbed bed(PathId::kShortHaul);
+  auto& sim = bed.sim();
+  core::TransferSpec spec{2 * 1024 * 1024, 1024};
+  std::vector<Flow> flows(4);
+  int done = 0;
+  for (int i = 0; i < 4; ++i) {
+    const auto base = static_cast<sim::PortId>(core::kFobsPortBase + 100 * i);
+    auto& flow = flows[static_cast<std::size_t>(i)];
+    flow.sender = std::make_unique<core::SimSender>(bed.src(), spec, core::SenderConfig{},
+                                                    nullptr, bed.dst().id(), base);
+    flow.receiver = std::make_unique<core::SimReceiver>(
+        bed.dst(), spec, core::ReceiverConfig{}, nullptr, bed.src().id(), 64 * 1024, base);
+    flow.sender->set_on_finished([&done] { ++done; });
+    flow.receiver->start();
+    flow.sender->start();
+  }
+  while (done < 4 && sim.now().seconds() < 300 && sim.step()) {
+  }
+  ASSERT_EQ(done, 4);
+  // Completion times should be clustered (greedy flows through one
+  // queue still round-robin fairly thanks to the shared NIC pacing).
+  double lo = 1e9, hi = 0;
+  for (auto& flow : flows) {
+    const double t = flow.receiver->completed_at().seconds();
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  EXPECT_LT(hi / lo, 1.6);
+}
+
+}  // namespace
+}  // namespace fobs

@@ -1,0 +1,90 @@
+// Unit tests for TransferObject (memory, pattern, mmap backings).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "fobs/object.h"
+
+namespace fobs::core {
+namespace {
+
+std::string temp_path(const char* tag) {
+  return std::string("/tmp/fobs_object_test_") + tag + "_" + std::to_string(::getpid());
+}
+
+TEST(TransferObject, AllocateIsZeroed) {
+  auto object = TransferObject::allocate(1000);
+  EXPECT_EQ(object.size(), 1000);
+  for (auto byte : object.view()) EXPECT_EQ(byte, 0);
+  EXPECT_FALSE(object.is_mapped());
+}
+
+TEST(TransferObject, PatternIsDeterministic) {
+  auto a = TransferObject::pattern(4096, 7);
+  auto b = TransferObject::pattern(4096, 7);
+  auto c = TransferObject::pattern(4096, 8);
+  EXPECT_EQ(a.checksum(), b.checksum());
+  EXPECT_NE(a.checksum(), c.checksum());
+  EXPECT_TRUE(std::equal(a.view().begin(), a.view().end(), b.view().begin()));
+}
+
+TEST(TransferObject, PatternTailBytesForOddSizes) {
+  auto object = TransferObject::pattern(1001, 3);
+  EXPECT_EQ(object.size(), 1001);
+  // Not all zero at the tail (the final partial word is filled).
+  bool tail_nonzero = false;
+  for (std::size_t i = 996; i < 1001; ++i) tail_nonzero |= object.view()[i] != 0;
+  EXPECT_TRUE(tail_nonzero);
+}
+
+TEST(TransferObject, FromVectorAdoptsContent) {
+  std::vector<std::uint8_t> data{1, 2, 3, 4, 5};
+  auto object = TransferObject::from_vector(data);
+  EXPECT_EQ(object.size(), 5);
+  EXPECT_EQ(object.view()[4], 5);
+}
+
+TEST(TransferObject, MoveTransfersOwnership) {
+  auto a = TransferObject::pattern(128, 1);
+  const auto sum = a.checksum();
+  TransferObject b = std::move(a);
+  EXPECT_EQ(b.size(), 128);
+  EXPECT_EQ(b.checksum(), sum);
+  EXPECT_EQ(a.size(), 0);  // NOLINT(bugprone-use-after-move): moved-from is empty
+}
+
+TEST(TransferObject, FileRoundTripThroughMmap) {
+  const std::string path = temp_path("roundtrip");
+  auto original = TransferObject::pattern(100'000, 99);
+  ASSERT_TRUE(original.write_to_file(path));
+
+  auto mapped = TransferObject::map_file(path);
+  ASSERT_TRUE(mapped.has_value());
+  EXPECT_TRUE(mapped->is_mapped());
+  EXPECT_EQ(mapped->size(), 100'000);
+  EXPECT_EQ(mapped->checksum(), original.checksum());
+  std::remove(path.c_str());
+}
+
+TEST(TransferObject, MapMissingFileFails) {
+  EXPECT_FALSE(TransferObject::map_file("/nonexistent/definitely/not/here").has_value());
+}
+
+TEST(TransferObject, MapEmptyFileFails) {
+  const std::string path = temp_path("empty");
+  { std::ofstream out(path); }
+  EXPECT_FALSE(TransferObject::map_file(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(TransferObject, ChecksumDetectsCorruption) {
+  auto object = TransferObject::pattern(1024, 5);
+  const auto before = object.checksum();
+  object.mutable_view()[512] ^= 0xFF;
+  EXPECT_NE(object.checksum(), before);
+}
+
+}  // namespace
+}  // namespace fobs::core

@@ -1,0 +1,122 @@
+// Tests for the link packet tracer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/link.h"
+#include "sim/node.h"
+#include "sim/packet_trace.h"
+#include "sim/simulation.h"
+
+namespace fobs::sim {
+namespace {
+
+using util::DataRate;
+using util::Duration;
+
+struct TraceWorld {
+  Simulation sim;
+  Network net{sim};
+  BlackholeNode* sink;
+  Link* link;
+  PacketTrace trace;
+
+  explicit TraceWorld(std::int64_t queue_bytes = 4096,
+                      double loss = 0.0) {
+    sink = &net.add_blackhole("sink");
+    LinkConfig cfg;
+    cfg.rate = DataRate::megabits_per_second(8);  // 1000 B = 1 ms
+    cfg.queue_capacity_bytes = queue_bytes;
+    link = &net.add_link(cfg);
+    link->set_sink(sink);
+    link->set_observer(&trace);
+    if (loss > 0) {
+      link->set_loss_model(std::make_unique<BernoulliLoss>(loss), util::Rng(1));
+    }
+  }
+
+  void offer(std::uint64_t uid, std::int64_t bytes = 1000) {
+    Packet pkt;
+    pkt.uid = uid;
+    pkt.size_bytes = bytes;
+    link->deliver(std::move(pkt));
+  }
+};
+
+TEST(PacketTrace, RecordsEnqueueAndDelivery) {
+  TraceWorld world;
+  world.offer(1);
+  world.offer(2);
+  world.sim.run();
+  EXPECT_EQ(world.trace.count(TraceEvent::Kind::kEnqueued), 2u);
+  EXPECT_EQ(world.trace.count(TraceEvent::Kind::kDelivered), 2u);
+  EXPECT_EQ(world.trace.count(TraceEvent::Kind::kDropOverflow), 0u);
+  ASSERT_EQ(world.trace.events().size(), 4u);
+  // Delivery happens one serialization time after enqueue.
+  EXPECT_EQ(world.trace.events()[0].kind, TraceEvent::Kind::kEnqueued);
+  EXPECT_GT(world.trace.events()[2].when.ns(), world.trace.events()[0].when.ns());
+}
+
+TEST(PacketTrace, RecordsOverflowDrops) {
+  TraceWorld world(/*queue_bytes=*/2000);
+  for (std::uint64_t i = 0; i < 6; ++i) world.offer(i);
+  world.sim.run();
+  // 1 transmitting + 2 queued accepted; 3 dropped.
+  EXPECT_EQ(world.trace.count(TraceEvent::Kind::kDropOverflow), 3u);
+  EXPECT_EQ(world.trace.count(TraceEvent::Kind::kDelivered), 3u);
+}
+
+TEST(PacketTrace, RecordsRandomDrops) {
+  TraceWorld world(/*queue_bytes=*/10'000'000, /*loss=*/1.0);
+  world.offer(1);
+  world.sim.run();
+  EXPECT_EQ(world.trace.count(TraceEvent::Kind::kDropRandom), 1u);
+  EXPECT_EQ(world.trace.count(TraceEvent::Kind::kDelivered), 0u);
+}
+
+TEST(PacketTrace, BoundedLogKeepsCounting) {
+  TraceWorld world(10'000'000);
+  world.trace = PacketTrace(/*max_events=*/4);
+  for (std::uint64_t i = 0; i < 10; ++i) world.offer(i);
+  world.sim.run();
+  EXPECT_LE(world.trace.events().size(), 4u);
+  EXPECT_TRUE(world.trace.truncated());
+  EXPECT_EQ(world.trace.count(TraceEvent::Kind::kDelivered), 10u);
+}
+
+TEST(PacketTrace, DropsPerBucketTimeline) {
+  TraceWorld world(/*queue_bytes=*/1000);
+  // Fill immediately: several drops in the first millisecond.
+  for (std::uint64_t i = 0; i < 5; ++i) world.offer(i);
+  world.sim.run();
+  const auto timeline = world.trace.drops_per_bucket(Duration::milliseconds(1),
+                                                     Duration::milliseconds(10));
+  ASSERT_GE(timeline.size(), 10u);
+  EXPECT_EQ(timeline[0], 3u);  // 1 transmitting + 1 queued accepted
+  EXPECT_EQ(timeline[5], 0u);
+}
+
+TEST(PacketTrace, CsvOutput) {
+  TraceWorld world;
+  world.offer(7, 500);
+  world.sim.run();
+  std::ostringstream oss;
+  world.trace.write_csv(oss);
+  const std::string csv = oss.str();
+  EXPECT_NE(csv.find("time_s,kind,uid,size,src,dst"), std::string::npos);
+  EXPECT_NE(csv.find("enqueued,7,500"), std::string::npos);
+  EXPECT_NE(csv.find("delivered,7,500"), std::string::npos);
+}
+
+TEST(PacketTrace, ClearResets) {
+  TraceWorld world;
+  world.offer(1);
+  world.sim.run();
+  world.trace.clear();
+  EXPECT_EQ(world.trace.total_events(), 0u);
+  EXPECT_TRUE(world.trace.events().empty());
+  EXPECT_EQ(world.trace.count(TraceEvent::Kind::kDelivered), 0u);
+}
+
+}  // namespace
+}  // namespace fobs::sim

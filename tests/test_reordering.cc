@@ -1,0 +1,150 @@
+// Packet reordering (link jitter): FOBS is order-agnostic by design;
+// TCP generates dup acks but must still complete correctly.
+#include <gtest/gtest.h>
+
+#include <any>
+#include <memory>
+
+#include "exp/testbeds.h"
+#include "fobs/sim_transfer.h"
+#include "host/host.h"
+#include "net/tcp.h"
+#include "net/udp.h"
+#include "sim/node.h"
+
+namespace fobs {
+namespace {
+
+using host::Host;
+using host::HostConfig;
+using util::DataRate;
+using util::Duration;
+
+HostConfig named_host(const char* name) {
+  HostConfig config;
+  config.name = name;
+  return config;
+}
+
+TEST(Reordering, JitterActuallyReordersDatagrams) {
+  sim::Simulation simulation;
+  sim::Network net(simulation);
+  auto& a = Host::create(net, named_host("a"));
+  auto& b = Host::create(net, named_host("b"));
+  sim::LinkConfig cfg;
+  cfg.rate = DataRate::gigabits_per_second(1);
+  cfg.propagation_delay = Duration::milliseconds(1);
+  cfg.jitter = Duration::milliseconds(1);  // comparable to serialization
+  auto& ab = net.add_link(cfg);
+  ab.set_sink(&b);
+  a.set_egress(&ab);
+  auto& ba = net.add_link(cfg);
+  ba.set_sink(&a);
+  b.set_egress(&ba);
+
+  net::UdpEndpoint tx(a);
+  net::UdpEndpoint rx(b, 9000);
+  for (int i = 0; i < 200; ++i) tx.send_to(b.id(), 9000, 1000, i);
+  simulation.run();
+
+  int inversions = 0;
+  int previous = -1;
+  while (auto pkt = rx.try_recv()) {
+    const int value = std::any_cast<int>(pkt->payload);
+    if (value < previous) ++inversions;
+    previous = std::max(previous, value);
+  }
+  EXPECT_GT(inversions, 10);  // jitter >> inter-packet gap reorders a lot
+}
+
+TEST(Reordering, FobsIsUnaffectedByHeavyReordering) {
+  auto spec = exp::spec_for(exp::PathId::kShortHaul);
+  exp::Testbed plain(spec);
+  exp::Testbed jittered(spec);
+  // Retro-fit jitter onto the jittered testbed's backbone by rebuilding
+  // is invasive; instead compare FOBS on a jitter-free path against a
+  // custom jittery two-host world.
+  core::SimTransferConfig config;
+  config.spec.object_bytes = 4 * 1024 * 1024;
+  config.carry_data = true;
+  const auto baseline =
+      core::run_sim_transfer(plain.network(), plain.src(), plain.dst(), config);
+  ASSERT_TRUE(baseline.completed);
+
+  sim::Simulation simulation;
+  sim::Network net(simulation);
+  auto& a = Host::create(net, named_host("a"));
+  auto& b = Host::create(net, named_host("b"));
+  sim::LinkConfig cfg;
+  cfg.rate = DataRate::megabits_per_second(100);
+  cfg.propagation_delay = Duration::milliseconds(13);
+  cfg.jitter = Duration::milliseconds(3);  // heavy reordering
+  cfg.queue_capacity_bytes = 256 * 1024;
+  auto& ab = net.add_link(cfg);
+  auto& ba = net.add_link(cfg);
+  ab.set_sink(&b);
+  ba.set_sink(&a);
+  a.set_egress(&ab);
+  b.set_egress(&ba);
+
+  core::SimSender sender(a, config.spec, core::SenderConfig{},
+                         nullptr, b.id());
+  core::SimReceiver receiver(b, config.spec, core::ReceiverConfig{}, nullptr, a.id(),
+                             64 * 1024);
+  bool done = false;
+  sender.set_on_finished([&done] { done = true; });
+  receiver.start();
+  sender.start();
+  while (!done && simulation.now().seconds() < 120 && simulation.step()) {
+  }
+  ASSERT_TRUE(done);
+  const double jittered_seconds = receiver.completed_at().seconds();
+  // Order does not matter to the bitmap protocol: throughput within a
+  // few percent of the in-order path. Waste grows a little because the
+  // jitter inflates the effective RTT (staler sender view near the
+  // end), but stays bounded — contrast with TCP, where this much
+  // reordering triggers spurious fast retransmits and cwnd collapses.
+  EXPECT_NEAR(jittered_seconds, baseline.receiver_elapsed.seconds(),
+              baseline.receiver_elapsed.seconds() * 0.1);
+  EXPECT_LT(sender.core().waste(), 0.2);
+}
+
+TEST(Reordering, TcpSurvivesReorderingWithSpuriousRetransmits) {
+  sim::Simulation simulation;
+  sim::Network net(simulation);
+  auto& a = Host::create(net, named_host("a"));
+  auto& b = Host::create(net, named_host("b"));
+  sim::LinkConfig cfg;
+  cfg.rate = DataRate::megabits_per_second(100);
+  cfg.propagation_delay = Duration::milliseconds(10);
+  cfg.jitter = Duration::microseconds(500);  // > 3 segment times: dup acks
+  cfg.queue_capacity_bytes = 512 * 1024;
+  auto& ab = net.add_link(cfg);
+  auto& ba = net.add_link(cfg);
+  ab.set_sink(&b);
+  ba.set_sink(&a);
+  a.set_egress(&ab);
+  b.set_egress(&ba);
+
+  net::TcpConfig config;
+  config.recv_buffer_bytes = 2 * 1024 * 1024;
+  const net::Seq bytes = 2 * 1024 * 1024;
+  net::Seq delivered = 0;
+  std::unique_ptr<net::TcpConnection> server;
+  net::TcpListener listener(b, 5001, config, [&](std::unique_ptr<net::TcpConnection> conn) {
+    server = std::move(conn);
+    server->set_on_delivered([&](net::Seq d) { delivered = d; });
+  });
+  net::TcpConnection client(a, config);
+  client.set_on_connected([&] { client.offer_bytes(bytes); });
+  client.connect(b.id(), 5001);
+  while (delivered < bytes && simulation.now().seconds() < 120 && simulation.step()) {
+  }
+  EXPECT_EQ(delivered, bytes);
+  // Reordering produced dup acks; some spurious fast retransmits are
+  // expected (the classic TCP-vs-reordering pathology), but no storm.
+  EXPECT_GT(client.stats().dup_acks_received, 0u);
+}
+
+}  // namespace
+}  // namespace fobs

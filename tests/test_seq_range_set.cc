@@ -1,0 +1,136 @@
+// Unit + property tests for the interval set used by TCP reassembly and
+// the SACK scoreboard.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "net/seq_range_set.h"
+
+namespace fobs::net {
+namespace {
+
+TEST(SeqRangeSet, InsertDisjoint) {
+  SeqRangeSet s;
+  EXPECT_EQ(s.insert(10, 20), 10);
+  EXPECT_EQ(s.insert(30, 40), 10);
+  EXPECT_EQ(s.range_count(), 2u);
+  EXPECT_EQ(s.covered_bytes(), 20);
+  EXPECT_TRUE(s.contains(15));
+  EXPECT_FALSE(s.contains(25));
+  EXPECT_FALSE(s.contains(20));  // half-open
+  EXPECT_TRUE(s.contains(30));
+}
+
+TEST(SeqRangeSet, InsertCoalescesAdjacent) {
+  SeqRangeSet s;
+  s.insert(10, 20);
+  s.insert(20, 30);  // abuts
+  EXPECT_EQ(s.range_count(), 1u);
+  EXPECT_TRUE(s.contains_range(10, 30));
+}
+
+TEST(SeqRangeSet, InsertCoalescesOverlapping) {
+  SeqRangeSet s;
+  s.insert(10, 20);
+  s.insert(30, 40);
+  EXPECT_EQ(s.insert(15, 35), 10);  // bridges the two, 10 new bytes
+  EXPECT_EQ(s.range_count(), 1u);
+  EXPECT_EQ(s.covered_bytes(), 30);
+}
+
+TEST(SeqRangeSet, InsertSubsumedAddsNothing) {
+  SeqRangeSet s;
+  s.insert(10, 50);
+  EXPECT_EQ(s.insert(20, 30), 0);
+  EXPECT_EQ(s.range_count(), 1u);
+  EXPECT_EQ(s.covered_bytes(), 40);
+}
+
+TEST(SeqRangeSet, InsertEmptyRangeIsNoop) {
+  SeqRangeSet s;
+  EXPECT_EQ(s.insert(5, 5), 0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SeqRangeSet, EraseBelowDropsAndTrims) {
+  SeqRangeSet s;
+  s.insert(0, 10);
+  s.insert(20, 40);
+  s.erase_below(25);
+  EXPECT_FALSE(s.contains(5));
+  EXPECT_FALSE(s.contains(24));
+  EXPECT_TRUE(s.contains(25));
+  EXPECT_EQ(s.covered_bytes(), 15);
+  s.erase_below(100);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.covered_bytes(), 0);
+}
+
+TEST(SeqRangeSet, ContiguousEndFrom) {
+  SeqRangeSet s;
+  s.insert(10, 30);
+  EXPECT_EQ(s.contiguous_end_from(10).value(), 30);
+  EXPECT_EQ(s.contiguous_end_from(29).value(), 30);
+  EXPECT_FALSE(s.contiguous_end_from(30).has_value());
+  EXPECT_FALSE(s.contiguous_end_from(5).has_value());
+}
+
+TEST(SeqRangeSet, FirstMissing) {
+  SeqRangeSet s;
+  s.insert(0, 10);
+  s.insert(20, 30);
+  EXPECT_EQ(s.first_missing(0, 100), 10);
+  EXPECT_EQ(s.first_missing(10, 100), 10);
+  EXPECT_EQ(s.first_missing(12, 100), 12);
+  EXPECT_EQ(s.first_missing(20, 100), 30);
+  EXPECT_EQ(s.first_missing(0, 5), 5);  // everything below limit covered
+}
+
+TEST(SeqRangeSet, MaxEnd) {
+  SeqRangeSet s;
+  EXPECT_EQ(s.max_end(), 0);
+  s.insert(10, 20);
+  s.insert(100, 200);
+  EXPECT_EQ(s.max_end(), 200);
+  s.erase_below(150);
+  EXPECT_EQ(s.max_end(), 200);
+}
+
+// Property: matches a per-byte reference model under random inserts and
+// erases.
+class SeqRangeSetProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeqRangeSetProperty, MatchesByteModel) {
+  fobs::util::Rng rng(GetParam());
+  SeqRangeSet s;
+  std::set<std::int64_t> model;  // set of covered bytes
+  constexpr std::int64_t kSpace = 500;
+
+  for (int op = 0; op < 500; ++op) {
+    if (rng.bernoulli(0.8)) {
+      const std::int64_t b = rng.uniform_int(0, kSpace - 1);
+      const std::int64_t e = b + rng.uniform_int(1, 30);
+      std::int64_t added_model = 0;
+      for (std::int64_t i = b; i < e; ++i) added_model += model.insert(i).second ? 1 : 0;
+      EXPECT_EQ(s.insert(b, e), added_model);
+    } else {
+      const std::int64_t cut = rng.uniform_int(0, kSpace);
+      s.erase_below(cut);
+      model.erase(model.begin(), model.lower_bound(cut));
+    }
+    EXPECT_EQ(s.covered_bytes(), static_cast<std::int64_t>(model.size()));
+    // Spot-check membership and first_missing.
+    const std::int64_t probe = rng.uniform_int(0, kSpace + 30);
+    EXPECT_EQ(s.contains(probe), model.count(probe) > 0);
+    std::int64_t expect_missing = probe;
+    while (expect_missing < kSpace + 60 && model.count(expect_missing)) ++expect_missing;
+    EXPECT_EQ(s.first_missing(probe, kSpace + 60),
+              std::min<std::int64_t>(expect_missing, kSpace + 60));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeqRangeSetProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace fobs::net

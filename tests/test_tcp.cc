@@ -1,0 +1,325 @@
+// TCP behaviour tests: handshake, option negotiation, window limits,
+// loss recovery (fast retransmit, SACK, RTO), messages, and teardown.
+#include <gtest/gtest.h>
+
+#include <any>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "host/host.h"
+#include "net/tcp.h"
+#include "sim/node.h"
+#include "sim/simulation.h"
+
+namespace fobs::net {
+namespace {
+
+using host::Host;
+using host::HostConfig;
+using sim::LinkConfig;
+using sim::Network;
+using sim::Packet;
+using sim::Simulation;
+using util::DataRate;
+using util::Duration;
+
+HostConfig named_host(const char* name) {
+  HostConfig config;
+  config.name = name;
+  return config;
+}
+
+/// Drops the data segments whose (1-based) data-segment index is listed.
+/// Control/ack segments (tiny) are never dropped.
+class DropNthDataSegments final : public sim::LossModel {
+ public:
+  explicit DropNthDataSegments(std::set<int> drops) : drops_(std::move(drops)) {}
+  bool should_drop(const Packet& packet, util::Rng&) override {
+    if (packet.size_bytes < 200) return false;  // acks/control
+    ++count_;
+    return drops_.count(count_) > 0;
+  }
+
+ private:
+  std::set<int> drops_;
+  int count_ = 0;
+};
+
+struct TcpWorld {
+  Simulation sim;
+  Network net{sim};
+  Host* a;
+  Host* b;
+  sim::Link* ab;
+  sim::Link* ba;
+
+  TcpWorld(DataRate rate, Duration one_way, std::int64_t queue_bytes) {
+    a = &Host::create(net, named_host("a"));
+    b = &Host::create(net, named_host("b"));
+    LinkConfig cfg;
+    cfg.rate = rate;
+    cfg.propagation_delay = one_way;
+    cfg.queue_capacity_bytes = queue_bytes;
+    ab = &net.add_link(cfg);
+    ba = &net.add_link(cfg);
+    ab->set_sink(b);
+    ba->set_sink(a);
+    a->set_egress(ab);
+    b->set_egress(ba);
+  }
+};
+
+struct TransferHarness {
+  std::unique_ptr<TcpConnection> server;
+  std::unique_ptr<TcpListener> listener;
+  std::unique_ptr<TcpConnection> client;
+  Seq delivered = 0;
+  bool connected = false;
+  bool peer_closed = false;
+  bool send_complete = false;
+  std::vector<std::string> messages;
+
+  TransferHarness(TcpWorld& world, const TcpConfig& client_config,
+                  const TcpConfig& server_config, Seq bytes) {
+    listener = std::make_unique<TcpListener>(
+        *world.b, 5001, server_config, [this](std::unique_ptr<TcpConnection> conn) {
+          server = std::move(conn);
+          server->set_on_delivered([this](Seq d) { delivered = d; });
+          server->set_on_message([this](const std::any& m) {
+            messages.push_back(std::any_cast<std::string>(m));
+          });
+          server->set_on_peer_closed([this] { peer_closed = true; });
+        });
+    client = std::make_unique<TcpConnection>(*world.a, client_config);
+    client->set_on_connected([this, bytes] {
+      connected = true;
+      if (bytes > 0) client->offer_bytes(bytes);
+    });
+    client->set_on_send_complete([this] { send_complete = true; });
+    client->connect(world.b->id(), 5001);
+  }
+};
+
+TcpConfig lwe_config(std::int64_t buffer = 4 * 1024 * 1024) {
+  TcpConfig config;
+  config.window_scaling = true;
+  config.sack_enabled = true;
+  config.recv_buffer_bytes = buffer;
+  return config;
+}
+
+TcpConfig plain_config() {
+  TcpConfig config;
+  config.window_scaling = false;
+  config.sack_enabled = false;
+  config.recv_buffer_bytes = 64 * 1024;
+  return config;
+}
+
+void run_until_done(TcpWorld& world, const std::function<bool()>& done, double max_seconds) {
+  while (!done() && world.sim.now().seconds() < max_seconds && world.sim.step()) {
+  }
+}
+
+TEST(Tcp, HandshakeEstablishesBothSides) {
+  TcpWorld world(DataRate::megabits_per_second(100), Duration::milliseconds(10), 256 * 1024);
+  TransferHarness h(world, lwe_config(), lwe_config(), 0);
+  run_until_done(world, [&] { return h.connected && h.server != nullptr; }, 1.0);
+  EXPECT_TRUE(h.connected);
+  ASSERT_NE(h.server, nullptr);
+  EXPECT_TRUE(h.client->established());
+  // Roughly 1.5 RTT for SYN / SYN-ACK / ACK.
+  EXPECT_LT(world.sim.now().seconds(), 0.1);
+}
+
+TEST(Tcp, CleanTransferDeliversAllBytesWithoutRetransmission) {
+  TcpWorld world(DataRate::megabits_per_second(100), Duration::milliseconds(5), 256 * 1024);
+  const Seq bytes = 2 * 1024 * 1024;
+  TransferHarness h(world, lwe_config(), lwe_config(), bytes);
+  // Run until the final ACK has also returned to the sender.
+  run_until_done(world, [&] { return h.delivered >= bytes && h.send_complete; }, 30.0);
+  EXPECT_EQ(h.delivered, bytes);
+  EXPECT_TRUE(h.send_complete);
+  EXPECT_EQ(h.client->stats().retransmissions, 0u);
+  EXPECT_EQ(h.client->stats().timeouts, 0u);
+}
+
+TEST(Tcp, WithoutWindowScalingThroughputIsWindowLimited) {
+  // 64 KiB window over 40 ms RTT -> ~13.1 Mb/s ceiling.
+  TcpWorld world(DataRate::megabits_per_second(100), Duration::milliseconds(20), 256 * 1024);
+  const Seq bytes = 4 * 1024 * 1024;
+  TransferHarness h(world, plain_config(), plain_config(), bytes);
+  run_until_done(world, [&] { return h.delivered >= bytes; }, 60.0);
+  ASSERT_EQ(h.delivered, bytes);
+  const double elapsed = world.sim.now().seconds();
+  const double mbps = static_cast<double>(bytes) * 8 / elapsed / 1e6;
+  EXPECT_LT(mbps, 14.0);
+  EXPECT_GT(mbps, 8.0);
+}
+
+TEST(Tcp, WindowScalingUnlocksTheSamePath) {
+  TcpWorld world(DataRate::megabits_per_second(100), Duration::milliseconds(20), 256 * 1024);
+  const Seq bytes = 4 * 1024 * 1024;
+  TransferHarness h(world, lwe_config(), lwe_config(), bytes);
+  run_until_done(world, [&] { return h.delivered >= bytes; }, 60.0);
+  ASSERT_EQ(h.delivered, bytes);
+  const double mbps = static_cast<double>(bytes) * 8 / world.sim.now().seconds() / 1e6;
+  EXPECT_GT(mbps, 30.0);  // far beyond the 13 Mb/s 64K ceiling
+}
+
+TEST(Tcp, WindowScalingRequiresBothSides) {
+  // Client offers scaling but the server stack doesn't: the connection
+  // must fall back to the 64 KiB ceiling (Table 1's "without LWE" case
+  // happened exactly this way on the SGI).
+  TcpWorld world(DataRate::megabits_per_second(100), Duration::milliseconds(20), 256 * 1024);
+  const Seq bytes = 2 * 1024 * 1024;
+  TransferHarness h(world, lwe_config(), plain_config(), bytes);
+  run_until_done(world, [&] { return h.delivered >= bytes; }, 60.0);
+  ASSERT_EQ(h.delivered, bytes);
+  const double mbps = static_cast<double>(bytes) * 8 / world.sim.now().seconds() / 1e6;
+  EXPECT_LT(mbps, 14.0);
+}
+
+TEST(Tcp, SingleLossRecoversByFastRetransmit) {
+  TcpWorld world(DataRate::megabits_per_second(100), Duration::milliseconds(10), 512 * 1024);
+  world.ab->set_loss_model(std::make_unique<DropNthDataSegments>(std::set<int>{100}),
+                           util::Rng(1));
+  const Seq bytes = 2 * 1024 * 1024;
+  TransferHarness h(world, lwe_config(), lwe_config(), bytes);
+  run_until_done(world, [&] { return h.delivered >= bytes; }, 30.0);
+  ASSERT_EQ(h.delivered, bytes);
+  EXPECT_GE(h.client->stats().fast_retransmits, 1u);
+  EXPECT_EQ(h.client->stats().timeouts, 0u);
+  EXPECT_GE(h.client->stats().retransmissions, 1u);
+  EXPECT_LE(h.client->stats().retransmissions, 5u);  // no go-back-N storm
+}
+
+TEST(Tcp, BurstLossRecoversWithSack) {
+  TcpWorld world(DataRate::megabits_per_second(100), Duration::milliseconds(10), 512 * 1024);
+  std::set<int> drops;
+  for (int i = 200; i < 240; ++i) drops.insert(i);  // 40-segment burst
+  world.ab->set_loss_model(std::make_unique<DropNthDataSegments>(drops), util::Rng(1));
+  const Seq bytes = 2 * 1024 * 1024;
+  TransferHarness h(world, lwe_config(), lwe_config(), bytes);
+  run_until_done(world, [&] { return h.delivered >= bytes; }, 60.0);
+  ASSERT_EQ(h.delivered, bytes);
+  EXPECT_GE(h.client->stats().retransmissions, 40u);
+  EXPECT_LE(h.client->stats().retransmissions, 120u);
+}
+
+TEST(Tcp, TailLossRecoversByTimeout) {
+  TcpWorld world(DataRate::megabits_per_second(100), Duration::milliseconds(10), 512 * 1024);
+  // Drop the very last data segment: no dupacks can follow, so only the
+  // retransmission timer can save the transfer.
+  const Seq bytes = 100 * 1460;
+  world.ab->set_loss_model(std::make_unique<DropNthDataSegments>(std::set<int>{100}),
+                           util::Rng(1));
+  TransferHarness h(world, lwe_config(), lwe_config(), bytes);
+  run_until_done(world, [&] { return h.delivered >= bytes; }, 30.0);
+  ASSERT_EQ(h.delivered, bytes);
+  EXPECT_GE(h.client->stats().timeouts, 1u);
+}
+
+TEST(Tcp, RenoWithoutSackStillRecovers) {
+  TcpWorld world(DataRate::megabits_per_second(100), Duration::milliseconds(10), 512 * 1024);
+  std::set<int> drops{150, 300, 450};
+  world.ab->set_loss_model(std::make_unique<DropNthDataSegments>(drops), util::Rng(1));
+  auto config = plain_config();
+  config.recv_buffer_bytes = 1024 * 1024;  // avoid window limiting
+  config.window_scaling = true;
+  config.sack_enabled = false;
+  const Seq bytes = 2 * 1024 * 1024;
+  TransferHarness h(world, config, config, bytes);
+  run_until_done(world, [&] { return h.delivered >= bytes; }, 60.0);
+  EXPECT_EQ(h.delivered, bytes);
+}
+
+TEST(Tcp, LossyBothDirectionsCompletes) {
+  TcpWorld world(DataRate::megabits_per_second(100), Duration::milliseconds(10), 512 * 1024);
+  world.ab->set_loss_model(std::make_unique<sim::BernoulliLoss>(0.005), util::Rng(3));
+  world.ba->set_loss_model(std::make_unique<sim::BernoulliLoss>(0.005), util::Rng(4));
+  const Seq bytes = 1024 * 1024;
+  TransferHarness h(world, lwe_config(), lwe_config(), bytes);
+  run_until_done(world, [&] { return h.delivered >= bytes; }, 120.0);
+  EXPECT_EQ(h.delivered, bytes);
+}
+
+TEST(Tcp, MessagesDeliveredInOrderAcrossLoss) {
+  TcpWorld world(DataRate::megabits_per_second(100), Duration::milliseconds(10), 512 * 1024);
+  world.ab->set_loss_model(std::make_unique<DropNthDataSegments>(std::set<int>{2, 5}),
+                           util::Rng(1));
+  TransferHarness h(world, lwe_config(), lwe_config(), 0);
+  run_until_done(world, [&] { return h.connected; }, 5.0);
+  ASSERT_TRUE(h.connected);
+  for (int i = 0; i < 8; ++i) {
+    h.client->send_message(10'000, std::string("msg") + std::to_string(i));
+  }
+  run_until_done(world, [&] { return h.messages.size() == 8; }, 30.0);
+  ASSERT_EQ(h.messages.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(h.messages[static_cast<std::size_t>(i)], "msg" + std::to_string(i));
+  }
+}
+
+TEST(Tcp, CloseAfterSendDeliversPeerClosed) {
+  TcpWorld world(DataRate::megabits_per_second(100), Duration::milliseconds(5), 256 * 1024);
+  const Seq bytes = 100'000;
+  TransferHarness h(world, lwe_config(), lwe_config(), bytes);
+  run_until_done(world, [&] { return h.connected; }, 5.0);
+  h.client->close();  // FIN defers until all data is acked
+  run_until_done(
+      world, [&] { return h.peer_closed && h.client->state() == TcpState::kDone; }, 30.0);
+  EXPECT_TRUE(h.peer_closed);
+  EXPECT_EQ(h.delivered, bytes);
+  EXPECT_EQ(h.client->state(), TcpState::kDone);
+}
+
+TEST(Tcp, SmallReceiveBufferWithLossDoesNotDeadlock) {
+  // Regression: a hole at rcv_nxt with a full out-of-order buffer used
+  // to advertise a zero window the sender could never reopen.
+  TcpWorld world(DataRate::megabits_per_second(100), Duration::milliseconds(10), 512 * 1024);
+  world.ab->set_loss_model(std::make_unique<DropNthDataSegments>(std::set<int>{10}),
+                           util::Rng(1));
+  auto config = lwe_config(/*buffer=*/64 * 1024);
+  const Seq bytes = 1024 * 1024;
+  TransferHarness h(world, config, config, bytes);
+  run_until_done(world, [&] { return h.delivered >= bytes; }, 60.0);
+  EXPECT_EQ(h.delivered, bytes);
+}
+
+TEST(Tcp, DelayedAcksReduceAckTraffic) {
+  TcpWorld world(DataRate::megabits_per_second(100), Duration::milliseconds(5), 512 * 1024);
+  const Seq bytes = 1024 * 1024;
+  TransferHarness h(world, lwe_config(), lwe_config(), bytes);
+  run_until_done(world, [&] { return h.delivered >= bytes; }, 30.0);
+  ASSERT_EQ(h.delivered, bytes);
+  // Roughly one ack per two segments on a clean in-order path.
+  EXPECT_LT(h.server->stats().acks_sent, h.client->stats().data_segments_sent * 3 / 4);
+}
+
+TEST(Tcp, SynRetryEventuallyConnectsThroughLossyHandshake) {
+  TcpWorld world(DataRate::megabits_per_second(100), Duration::milliseconds(5), 256 * 1024);
+  // Drop ALL small packets a few times: the first SYN attempts die.
+  class DropFirstN final : public sim::LossModel {
+   public:
+    explicit DropFirstN(int n) : remaining_(n) {}
+    bool should_drop(const Packet&, util::Rng&) override {
+      if (remaining_ > 0) {
+        --remaining_;
+        return true;
+      }
+      return false;
+    }
+
+   private:
+    int remaining_;
+  } ;
+  world.ab->set_loss_model(std::make_unique<DropFirstN>(2), util::Rng(1));
+  TransferHarness h(world, lwe_config(), lwe_config(), 1000);
+  run_until_done(world, [&] { return h.delivered >= 1000; }, 30.0);
+  EXPECT_EQ(h.delivered, 1000);
+}
+
+}  // namespace
+}  // namespace fobs::net

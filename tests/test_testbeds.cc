@@ -1,0 +1,88 @@
+// Tests for the paper-path testbeds: geometry, wiring, cross traffic.
+#include <gtest/gtest.h>
+
+#include <any>
+
+#include "exp/testbeds.h"
+#include "net/udp.h"
+
+namespace fobs::exp {
+namespace {
+
+TEST(Testbeds, PaperRttGeometry) {
+  EXPECT_NEAR(spec_for(PathId::kShortHaul).rtt().seconds(), 0.026, 0.001);
+  EXPECT_NEAR(spec_for(PathId::kLongHaul).rtt().seconds(), 0.065, 0.001);
+  EXPECT_NEAR(spec_for(PathId::kGigabitOc12).rtt().seconds(), 0.026, 0.001);
+  EXPECT_NEAR(spec_for(PathId::kGigabitContended).rtt().seconds(), 0.065, 0.001);
+}
+
+TEST(Testbeds, PaperBottlenecks) {
+  EXPECT_DOUBLE_EQ(spec_for(PathId::kShortHaul).max_bandwidth.mbps(), 100.0);
+  EXPECT_DOUBLE_EQ(spec_for(PathId::kLongHaul).max_bandwidth.mbps(), 100.0);
+  EXPECT_DOUBLE_EQ(spec_for(PathId::kGigabitOc12).max_bandwidth.mbps(), 622.0);
+  EXPECT_DOUBLE_EQ(spec_for(PathId::kGigabitContended).max_bandwidth.mbps(), 622.0);
+}
+
+TEST(Testbeds, ForwardAndReversePathsWork) {
+  Testbed bed(PathId::kShortHaul);
+  net::UdpEndpoint at_src(bed.src(), 9000);
+  net::UdpEndpoint at_dst(bed.dst(), 9001);
+  at_src.send_to(bed.dst().id(), 9001, 100, std::string("fwd"));
+  at_dst.send_to(bed.src().id(), 9000, 100, std::string("rev"));
+  bed.sim().run();
+  auto fwd = at_dst.try_recv();
+  auto rev = at_src.try_recv();
+  ASSERT_TRUE(fwd && rev);
+  EXPECT_EQ(std::any_cast<std::string>(fwd->payload), "fwd");
+  EXPECT_EQ(std::any_cast<std::string>(rev->payload), "rev");
+}
+
+TEST(Testbeds, OneWayLatencyMatchesSpec) {
+  Testbed bed(PathId::kLongHaul);
+  net::UdpEndpoint at_src(bed.src(), 9000);
+  net::UdpEndpoint at_dst(bed.dst(), 9001);
+  at_src.send_to(bed.dst().id(), 9001, 100, std::any{});
+  util::TimePoint arrival;
+  bool got = false;
+  at_dst.set_rx_notify([&] {
+    arrival = bed.sim().now();
+    got = true;
+  });
+  bed.sim().run();
+  ASSERT_TRUE(got);
+  // Propagation (32.5 ms) plus tiny serialization.
+  EXPECT_NEAR(arrival.seconds(), bed.spec().one_way_delay().seconds(), 0.001);
+}
+
+TEST(Testbeds, ContendedPathCarriesCrossTraffic) {
+  Testbed bed(PathId::kGigabitContended);
+  EXPECT_FALSE(bed.cross_sources().empty());
+  bed.sim().run_until(util::TimePoint::from_ns(util::Duration::seconds(2).ns()));
+  std::uint64_t offered = 0;
+  for (const auto& src : bed.cross_sources()) offered += src->stats().packets_sent;
+  EXPECT_GT(offered, 10000u);
+  EXPECT_GT(bed.cross_sink().packets_received(), 0u);
+}
+
+TEST(Testbeds, CleanPathsHaveNoCrossTraffic) {
+  Testbed bed(PathId::kShortHaul);
+  EXPECT_TRUE(bed.cross_sources().empty());
+}
+
+TEST(Testbeds, DistinctSeedsGiveDistinctCrossTraffic) {
+  Testbed bed1(PathId::kGigabitContended, 1);
+  Testbed bed2(PathId::kGigabitContended, 2);
+  bed1.sim().run_until(util::TimePoint::from_ns(util::Duration::seconds(1).ns()));
+  bed2.sim().run_until(util::TimePoint::from_ns(util::Duration::seconds(1).ns()));
+  // Same aggregate intent but different realizations.
+  EXPECT_NE(bed1.cross_sources()[0]->stats().packets_sent,
+            bed2.cross_sources()[0]->stats().packets_sent);
+}
+
+TEST(Testbeds, BackboneIsTheForwardBottleneckLink) {
+  Testbed bed(PathId::kGigabitOc12);
+  EXPECT_DOUBLE_EQ(bed.backbone().config().rate.mbps(), 622.0);
+}
+
+}  // namespace
+}  // namespace fobs::exp

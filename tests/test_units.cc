@@ -1,0 +1,110 @@
+// Unit tests for the strong time/size/rate types.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/units.h"
+
+namespace fobs::util {
+namespace {
+
+using namespace fobs::util::literals;
+
+TEST(Duration, ConstructionAndConversion) {
+  EXPECT_EQ(Duration::microseconds(3).ns(), 3000);
+  EXPECT_EQ(Duration::milliseconds(2).us(), 2000);
+  EXPECT_EQ(Duration::seconds(1).ms(), 1000);
+  EXPECT_DOUBLE_EQ(Duration::milliseconds(1500).seconds(), 1.5);
+  EXPECT_EQ((1500_us).ns(), 1'500'000);
+  EXPECT_EQ((2_s).ms(), 2000);
+}
+
+TEST(Duration, FromSecondsRounds) {
+  EXPECT_EQ(Duration::from_seconds(1e-9).ns(), 1);
+  EXPECT_EQ(Duration::from_seconds(2.5e-9).ns(), 3);  // rounds to nearest
+  EXPECT_EQ(Duration::from_seconds(-1e-9).ns(), -1);
+  EXPECT_EQ(Duration::from_seconds(0.0).ns(), 0);
+}
+
+TEST(Duration, Arithmetic) {
+  EXPECT_EQ((5_ms + 5_ms).ms(), 10);
+  EXPECT_EQ((10_ms - 4_ms).ms(), 6);
+  EXPECT_EQ((3_us * 4).us(), 12);
+  EXPECT_EQ((4 * 3_us).us(), 12);
+  EXPECT_EQ((10_us / 4).ns(), 2500);
+  EXPECT_DOUBLE_EQ(10_ms / 4_ms, 2.5);
+  EXPECT_EQ((10_us * 1.5).us(), 15);
+  Duration d = 1_ms;
+  d += 1_ms;
+  d -= 500_us;
+  EXPECT_EQ(d.us(), 1500);
+}
+
+TEST(Duration, Comparison) {
+  EXPECT_LT(1_us, 2_us);
+  EXPECT_GE(Duration::zero(), Duration::nanoseconds(-1));
+  EXPECT_EQ(1000_ns, 1_us);
+}
+
+TEST(TimePoint, Arithmetic) {
+  const TimePoint t0 = TimePoint::zero();
+  const TimePoint t1 = t0 + 5_ms;
+  EXPECT_EQ((t1 - t0).ms(), 5);
+  EXPECT_EQ((t1 - 2_ms).ns(), (3_ms).ns());
+  EXPECT_LT(t0, t1);
+  EXPECT_EQ(TimePoint::from_ns(42).ns(), 42);
+}
+
+TEST(DataSize, ConversionsAndArithmetic) {
+  EXPECT_EQ((1_KiB).bytes(), 1024);
+  EXPECT_EQ((2_MiB).bytes(), 2 * 1024 * 1024);
+  EXPECT_EQ((3_B).bits(), 24);
+  EXPECT_DOUBLE_EQ((512_B).kilobytes(), 0.5);
+  EXPECT_EQ((1_KiB + 1_KiB).bytes(), 2048);
+  EXPECT_EQ((2_KiB - 1_KiB), 1_KiB);
+  EXPECT_EQ((1_KiB * 3).bytes(), 3072);
+  EXPECT_DOUBLE_EQ(2_MiB / 1_MiB, 2.0);
+}
+
+TEST(DataRate, ConversionsAndArithmetic) {
+  EXPECT_DOUBLE_EQ((100_Mbps).bps(), 1e8);
+  EXPECT_DOUBLE_EQ((1_Gbps).mbps(), 1000.0);
+  EXPECT_DOUBLE_EQ((8_Mbps).bytes_per_second(), 1e6);
+  EXPECT_TRUE(DataRate::zero().is_zero());
+  EXPECT_DOUBLE_EQ((100_Mbps * 0.5).mbps(), 50.0);
+  EXPECT_DOUBLE_EQ((100_Mbps / 100_Mbps), 1.0);
+  EXPECT_DOUBLE_EQ((100_Mbps + 22_Mbps).mbps(), 122.0);
+  EXPECT_DOUBLE_EQ((100_Mbps - 22_Mbps).mbps(), 78.0);
+}
+
+TEST(Units, TransmissionTime) {
+  // 1250 bytes at 100 Mb/s = 10000 bits / 1e8 bps = 100 us.
+  EXPECT_EQ(transmission_time(DataSize::bytes(1250), 100_Mbps).us(), 100);
+  EXPECT_EQ(transmission_time(1_KiB, DataRate::zero()), Duration::zero());
+}
+
+TEST(Units, RateOf) {
+  // 1 MB in 1 second = 8 Mb/s.
+  EXPECT_DOUBLE_EQ(rate_of(DataSize::bytes(1'000'000), 1_s).mbps(), 8.0);
+  EXPECT_TRUE(rate_of(1_MiB, Duration::zero()).is_zero());
+}
+
+TEST(Units, BandwidthDelayProduct) {
+  // 100 Mb/s x 65 ms = 812500 bytes.
+  EXPECT_EQ(bandwidth_delay_product(100_Mbps, Duration::milliseconds(65)).bytes(), 812500);
+}
+
+TEST(Units, ToStringPicksSensibleUnits) {
+  EXPECT_EQ(to_string(1500_ns), "1.500 us");
+  EXPECT_EQ(to_string(Duration::milliseconds(2)), "2.000 ms");
+  EXPECT_EQ(to_string(Duration::seconds(3)), "3.000 s");
+  EXPECT_EQ(to_string(12_B), "12 B");
+  EXPECT_EQ(to_string(DataSize::kilobytes(2)), "2.000 KiB");
+  EXPECT_EQ(to_string(100_Mbps), "100.000 Mb/s");
+  std::ostringstream oss;
+  oss << 1_us << " " << 1_KiB;
+  EXPECT_EQ(oss.str(), "1.000 us 1.000 KiB");
+}
+
+}  // namespace
+}  // namespace fobs::util
