@@ -50,6 +50,12 @@ int main() {
   }
   std::printf("\n");
   benchutil::emit(table, "Figure 1: FOBS bandwidth vs. acknowledgement frequency");
+  if (const auto dir = benchutil::trace_dir_from_env(); !dir.empty()) {
+    exp::FobsRunParams params;
+    params.ack_frequency = 64;
+    benchutil::dump_fobs_trace(dir, "fig1_short_haul", short_spec, params);
+    benchutil::dump_fobs_trace(dir, "fig1_long_haul", long_spec, params);
+  }
   if (const auto dir = exp::plot_dir_from_env(); !dir.empty()) {
     std::printf("%s gnuplot files to %s/\n",
                 exp::write_plot(dir, plot) ? "wrote" : "FAILED writing", dir.c_str());

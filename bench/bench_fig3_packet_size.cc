@@ -52,6 +52,13 @@ int main() {
   }
   std::printf("\n");
   benchutil::emit(table, "Figure 3: FOBS bandwidth vs. UDP packet size (GigE/OC-12)");
+  if (const auto dir = benchutil::trace_dir_from_env(); !dir.empty()) {
+    exp::FobsRunParams params;
+    params.packet_bytes = 8192;
+    params.ack_frequency = 64;
+    params.receiver_socket_buffer_bytes = 256 * 1024;
+    benchutil::dump_fobs_trace(dir, "fig3_gige_oc12", spec, params);
+  }
   if (const auto dir = exp::plot_dir_from_env(); !dir.empty()) {
     std::printf("%s gnuplot files to %s/\n",
                 exp::write_plot(dir, plot) ? "wrote" : "FAILED writing", dir.c_str());

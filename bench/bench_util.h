@@ -2,8 +2,10 @@
 //
 // Each binary prints (a) the paper's reported numbers and (b) our
 // measured values, as aligned text tables. Set FOBS_BENCH_SEEDS=<n> to
-// change how many simulated runs are averaged per row (default 3), and
-// FOBS_BENCH_CSV=1 to emit CSV after the table.
+// change how many simulated runs are averaged per row (default 3),
+// FOBS_BENCH_CSV=1 to emit CSV after the table, and FOBS_TRACE_DIR=<dir>
+// to dump JSONL telemetry traces of one representative run per path
+// (see docs/TELEMETRY.md).
 #pragma once
 
 #include <cstdio>
@@ -12,6 +14,8 @@
 #include <string>
 
 #include "common/table.h"
+#include "exp/runner.h"
+#include "telemetry/trace.h"
 
 namespace fobs::benchutil {
 
@@ -25,6 +29,30 @@ inline int seed_count_from_env(int fallback = 3) {
 inline bool csv_from_env() {
   const char* env = std::getenv("FOBS_BENCH_CSV");
   return env != nullptr && env[0] == '1';
+}
+
+/// Directory for JSONL telemetry dumps, or "" when tracing is off.
+inline std::string trace_dir_from_env() {
+  const char* env = std::getenv("FOBS_TRACE_DIR");
+  return env == nullptr ? std::string() : std::string(env);
+}
+
+/// Re-runs one fixed-seed FOBS transfer with tracers attached and
+/// writes `<dir>/<stem>.sender.jsonl` and `<dir>/<stem>.receiver.jsonl`.
+/// The figure binaries call this once per path when FOBS_TRACE_DIR is
+/// set, so a reproduction run leaves an inspectable event log behind.
+inline void dump_fobs_trace(const std::string& dir, const std::string& stem,
+                            const fobs::exp::TestbedSpec& spec,
+                            fobs::exp::FobsRunParams params, std::uint64_t seed = 1) {
+  fobs::telemetry::EventTracer sender_trace;
+  fobs::telemetry::EventTracer receiver_trace;
+  params.sender_tracer = &sender_trace;
+  params.receiver_tracer = &receiver_trace;
+  (void)fobs::exp::run_fobs(spec, params, seed);
+  const bool ok = sender_trace.write_jsonl_file(dir + "/" + stem + ".sender.jsonl") &&
+                  receiver_trace.write_jsonl_file(dir + "/" + stem + ".receiver.jsonl");
+  std::printf("%s telemetry traces %s/%s.{sender,receiver}.jsonl\n",
+              ok ? "wrote" : "FAILED writing", dir.c_str(), stem.c_str());
 }
 
 inline void emit(const fobs::util::TextTable& table, const std::string& title) {

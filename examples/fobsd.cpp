@@ -19,14 +19,32 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "fobs/object.h"
 #include "fobs/posix/posix_transfer.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace {
+
+// With FOBS_TRACE_DIR set, every transfer leaves a JSONL event trace
+// behind and the demo prints the process-wide metrics table.
+std::string trace_dir() {
+  const char* env = std::getenv("FOBS_TRACE_DIR");
+  return env == nullptr ? std::string() : std::string(env);
+}
+
+void maybe_dump_trace(const fobs::telemetry::EventTracer& trace, const std::string& stem) {
+  const auto dir = trace_dir();
+  if (dir.empty()) return;
+  const std::string path = dir + "/" + stem + ".jsonl";
+  std::printf("fobsd: %s trace %s\n",
+              trace.write_jsonl_file(path) ? "wrote" : "FAILED writing", path.c_str());
+}
 
 bool send_line(int fd, const std::string& line) {
   return ::send(fd, line.data(), line.size(), 0) == static_cast<ssize_t>(line.size());
@@ -91,14 +109,17 @@ int run_server(const std::string& dir, std::uint16_t port, int max_requests = -1
               std::to_string(object->size()) + " " + std::to_string(control_port) + "\n");
     ::close(conn);  // catalog exchange done; the transfer takes over
 
+    fobs::telemetry::EventTracer trace;
     fobs::posix::SenderOptions opts;
     opts.receiver_host = client_host;
     opts.data_port = static_cast<std::uint16_t>(client_port);
     opts.control_port = control_port;
+    opts.tracer = &trace;
     const auto result = fobs::posix::send_object(opts, object->view());
     std::printf("fobsd: %s -> %s:%d  %s (%.0f Mb/s, waste %.2f%%)\n", name.c_str(),
                 client_host, client_port, result.completed ? "ok" : "FAILED",
                 result.goodput_mbps, 100.0 * result.waste);
+    maybe_dump_trace(trace, "fobsd_serve_" + std::to_string(served));
     ++served;
   }
   ::close(listener);
@@ -133,11 +154,14 @@ int run_fetch(const std::string& host, std::uint16_t port, const std::string& na
   }
 
   std::vector<std::uint8_t> buffer(static_cast<std::size_t>(size));
+  fobs::telemetry::EventTracer trace;
   fobs::posix::ReceiverOptions opts;
   opts.sender_host = host;
   opts.data_port = data_port;
   opts.control_port = static_cast<std::uint16_t>(control_port);
+  opts.tracer = &trace;
   const auto result = fobs::posix::receive_object(opts, std::span<std::uint8_t>(buffer));
+  maybe_dump_trace(trace, "fobsd_fetch");
   if (!result.completed) {
     std::printf("fobsd: fetch failed: %s\n", result.error.c_str());
     return 1;
@@ -168,6 +192,10 @@ int run_demo() {
   const auto fetched = fobs::core::TransferObject::map_file(dir + "/fetched.bin");
   const bool ok = fetched && fetched->checksum() == original.checksum();
   std::printf("fobsd demo: content %s\n", ok ? "verified" : "MISMATCH");
+  if (!trace_dir().empty()) {
+    std::printf("\nprocess metrics:\n");
+    fobs::telemetry::MetricsRegistry::global().to_table().print(std::cout);
+  }
   return ok ? 0 : 1;
 }
 

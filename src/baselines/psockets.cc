@@ -8,7 +8,7 @@ namespace fobs::baselines {
 PsocketsResult run_psockets_transfer(fobs::sim::Network& network, Host& src, Host& dst,
                                      std::int64_t bytes, int streams,
                                      const fobs::net::TcpConfig& per_stream_config,
-                                     Duration timeout) {
+                                     Duration timeout, fobs::telemetry::EventTracer* tracer) {
   using fobs::net::TcpConnection;
   using fobs::net::TcpListener;
   assert(streams >= 1);
@@ -17,6 +17,10 @@ PsocketsResult run_psockets_transfer(fobs::sim::Network& network, Host& src, Hos
   const auto start = sim.now();
   const auto deadline = start + timeout;
   constexpr fobs::sim::PortId kPort = 5002;
+  if (tracer != nullptr) {
+    tracer->set_clock([&sim] { return sim.now().ns(); });
+    tracer->record(fobs::telemetry::EventType::kTransferStart, streams, bytes);
+  }
 
   const std::int64_t stripe = bytes / streams;
   std::vector<std::int64_t> stripe_bytes(static_cast<std::size_t>(streams), stripe);
@@ -59,6 +63,12 @@ PsocketsResult run_psockets_transfer(fobs::sim::Network& network, Host& src, Hos
   }
 
   while (!done && sim.now() < deadline && sim.step()) {
+  }
+
+  if (tracer != nullptr) {
+    tracer->record(done ? fobs::telemetry::EventType::kCompletion
+                        : fobs::telemetry::EventType::kTimeout,
+                   streams, delivered_total);
   }
 
   PsocketsResult result;

@@ -15,6 +15,7 @@
 #include "host/host.h"
 #include "net/tcp.h"
 #include "sim/node.h"
+#include "telemetry/trace.h"
 
 namespace fobs::baselines {
 
@@ -41,7 +42,8 @@ struct PsocketsResult {
 PsocketsResult run_psockets_transfer(fobs::sim::Network& network, Host& src, Host& dst,
                                      std::int64_t bytes, int streams,
                                      const fobs::net::TcpConfig& per_stream_config,
-                                     Duration timeout = Duration::seconds(600));
+                                     Duration timeout = Duration::seconds(600),
+                                     fobs::telemetry::EventTracer* tracer = nullptr);
 
 /// PSockets' experimental tuning: runs the candidate stream counts on
 /// fresh topologies produced by `make_run` and returns the best result.

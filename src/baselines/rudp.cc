@@ -183,6 +183,10 @@ class RudpSender {
     if (index_ >= missing_.size()) {
       ++pass_;
       awaiting_nak_ = true;
+      if (config_.tracer != nullptr) {
+        config_.tracer->record(fobs::telemetry::EventType::kBatchSent, pass_,
+                               static_cast<std::int64_t>(index_));
+      }
       control_.send_message(16, PassDone{pass_});
       return;
     }
@@ -224,6 +228,11 @@ RudpResult run_rudp_transfer(fobs::sim::Network& network, Host& src, Host& dst,
   auto& sim = network.sim();
   const auto start = sim.now();
   const auto deadline = start + config.timeout;
+  if (config.tracer != nullptr) {
+    config.tracer->set_clock([&sim] { return sim.now().ns(); });
+    config.tracer->record(fobs::telemetry::EventType::kTransferStart, -1,
+                          config.spec.packet_count());
+  }
 
   RudpReceiver receiver(dst, config, src.id());
   RudpSender sender(src, config, dst.id());
@@ -231,6 +240,12 @@ RudpResult run_rudp_transfer(fobs::sim::Network& network, Host& src, Host& dst,
   sender.start();
 
   while (!sender.done() && sim.now() < deadline && sim.step()) {
+  }
+
+  if (config.tracer != nullptr) {
+    config.tracer->record(sender.done() ? fobs::telemetry::EventType::kCompletion
+                                        : fobs::telemetry::EventType::kTimeout,
+                          -1, sender.packets_sent());
   }
 
   RudpResult result;

@@ -14,6 +14,7 @@
 #include "fobs/types.h"
 #include "host/host.h"
 #include "sim/node.h"
+#include "telemetry/trace.h"
 
 namespace fobs::baselines {
 
@@ -27,6 +28,9 @@ struct RudpConfig {
   DataRate send_rate = DataRate::zero();
   std::int64_t receiver_socket_buffer_bytes = 256 * 1024;
   Duration timeout = Duration::seconds(600);
+  /// Optional event tracer (must outlive the run): transfer_start, one
+  /// batch_sent per blast pass, completion or timeout.
+  fobs::telemetry::EventTracer* tracer = nullptr;
 };
 
 struct RudpResult {

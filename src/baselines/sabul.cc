@@ -190,6 +190,11 @@ class SabulSender {
     }
     if (report->losses != nullptr && !report->losses->empty()) {
       ++lossy_reports_;
+      if (config_.tracer != nullptr) {
+        config_.tracer->record(fobs::telemetry::EventType::kAckProcessed,
+                               static_cast<std::int64_t>(lossy_reports_),
+                               static_cast<std::int64_t>(report->losses->size()));
+      }
       for (PacketSeq s : *report->losses) {
         if (queued_rtx_.insert(s).second) rtx_queue_.push_back(s);
       }
@@ -259,6 +264,11 @@ SabulResult run_sabul_transfer(fobs::sim::Network& network, Host& src, Host& dst
   auto& sim = network.sim();
   const auto start = sim.now();
   const auto deadline = start + config.timeout;
+  if (config.tracer != nullptr) {
+    config.tracer->set_clock([&sim] { return sim.now().ns(); });
+    config.tracer->record(fobs::telemetry::EventType::kTransferStart, -1,
+                          config.spec.packet_count());
+  }
 
   SabulReceiver receiver(dst, config, src.id());
   SabulSender sender(src, config, dst.id());
@@ -266,6 +276,12 @@ SabulResult run_sabul_transfer(fobs::sim::Network& network, Host& src, Host& dst
   sender.start();
 
   while (!sender.done() && sim.now() < deadline && sim.step()) {
+  }
+
+  if (config.tracer != nullptr) {
+    config.tracer->record(sender.done() ? fobs::telemetry::EventType::kCompletion
+                                        : fobs::telemetry::EventType::kTimeout,
+                          -1, sender.packets_sent());
   }
 
   SabulResult result;

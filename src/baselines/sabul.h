@@ -13,6 +13,7 @@
 #include "fobs/types.h"
 #include "host/host.h"
 #include "sim/node.h"
+#include "telemetry/trace.h"
 
 namespace fobs::baselines {
 
@@ -34,6 +35,9 @@ struct SabulConfig {
   double speedup_factor = 0.975;
   std::int64_t receiver_socket_buffer_bytes = 256 * 1024;
   Duration timeout = Duration::seconds(600);
+  /// Optional event tracer (must outlive the run): transfer_start, one
+  /// ack_processed per lossy receiver report, completion or timeout.
+  fobs::telemetry::EventTracer* tracer = nullptr;
 };
 
 struct SabulResult {

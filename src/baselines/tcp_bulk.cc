@@ -22,7 +22,7 @@ fobs::net::TcpConfig tcp_without_lwe() {
 
 TcpTransferResult run_tcp_transfer(fobs::sim::Network& network, Host& src, Host& dst,
                                    std::int64_t bytes, const fobs::net::TcpConfig& config,
-                                   Duration timeout) {
+                                   Duration timeout, fobs::telemetry::EventTracer* tracer) {
   using fobs::net::TcpConnection;
   using fobs::net::TcpListener;
 
@@ -30,6 +30,10 @@ TcpTransferResult run_tcp_transfer(fobs::sim::Network& network, Host& src, Host&
   const auto start = sim.now();
   const auto deadline = start + timeout;
   constexpr fobs::sim::PortId kPort = 5001;  // iperf's favourite
+  if (tracer != nullptr) {
+    tracer->set_clock([&sim] { return sim.now().ns(); });
+    tracer->record(fobs::telemetry::EventType::kTransferStart, -1, bytes);
+  }
 
   std::unique_ptr<TcpConnection> server;
   bool done = false;
@@ -50,6 +54,12 @@ TcpTransferResult run_tcp_transfer(fobs::sim::Network& network, Host& src, Host&
   client.connect(dst.id(), kPort);
 
   while (!done && sim.now() < deadline && sim.step()) {
+  }
+
+  if (tracer != nullptr) {
+    tracer->record(done ? fobs::telemetry::EventType::kCompletion
+                        : fobs::telemetry::EventType::kTimeout,
+                   -1, bytes);
   }
 
   TcpTransferResult result;

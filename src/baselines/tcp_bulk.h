@@ -11,6 +11,7 @@
 #include "host/host.h"
 #include "net/tcp.h"
 #include "sim/node.h"
+#include "telemetry/trace.h"
 
 namespace fobs::baselines {
 
@@ -33,9 +34,12 @@ struct TcpTransferResult {
 };
 
 /// Transfers `bytes` from `src` to `dst` over one TCP connection.
+/// `tracer` (optional, must outlive the call) records transfer_start
+/// and completion/timeout on the sim clock.
 TcpTransferResult run_tcp_transfer(fobs::sim::Network& network, Host& src, Host& dst,
                                    std::int64_t bytes, const fobs::net::TcpConfig& config,
-                                   Duration timeout = Duration::seconds(600));
+                                   Duration timeout = Duration::seconds(600),
+                                   fobs::telemetry::EventTracer* tracer = nullptr);
 
 /// Convenience: the paper's two configurations.
 [[nodiscard]] fobs::net::TcpConfig tcp_with_lwe();

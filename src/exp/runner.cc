@@ -13,6 +13,8 @@ fobs::core::SimTransferConfig make_fobs_config(const FobsRunParams& params) {
   config.receiver.ack_frequency = params.ack_frequency;
   config.receiver_socket_buffer_bytes = params.receiver_socket_buffer_bytes;
   config.carry_data = params.carry_data;
+  config.sender_tracer = params.sender_tracer;
+  config.receiver_tracer = params.receiver_tracer;
   return config;
 }
 

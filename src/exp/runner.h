@@ -41,6 +41,9 @@ struct FobsRunParams {
   std::int64_t receiver_socket_buffer_bytes = 64 * 1024;
   bool carry_data = false;  ///< benches default to size-only for speed
   fobs::core::AdaptiveConfig adaptive;  ///< §7 extension, off by default
+  /// Optional telemetry tracers (must outlive the run).
+  fobs::telemetry::EventTracer* sender_tracer = nullptr;
+  fobs::telemetry::EventTracer* receiver_tracer = nullptr;
 };
 
 /// Builds the SimTransferConfig corresponding to FobsRunParams.

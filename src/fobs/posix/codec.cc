@@ -57,7 +57,9 @@ std::vector<std::uint8_t> encode_ack(const fobs::core::AckMessage& ack) {
   put_u64(out.data() + 24, static_cast<std::uint64_t>(ack.frontier));
   put_u64(out.data() + 32, static_cast<std::uint64_t>(ack.fragment_start));
   put_u32(out.data() + 40, static_cast<std::uint32_t>(ack.fragment_bits));
-  std::memcpy(out.data() + kAckFixedSize, ack.fragment.data(), ack.fragment.size());
+  if (!ack.fragment.empty()) {
+    std::memcpy(out.data() + kAckFixedSize, ack.fragment.data(), ack.fragment.size());
+  }
   return out;
 }
 

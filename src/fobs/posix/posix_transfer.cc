@@ -15,12 +15,32 @@
 
 #include "common/log.h"
 #include "fobs/posix/codec.h"
+#include "telemetry/metrics.h"
 
 namespace fobs::posix {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Installs a "nanoseconds since `start`" clock on `tracer` and records
+/// the transfer_start event. No-op on a null tracer.
+void begin_trace(fobs::telemetry::EventTracer* tracer, Clock::time_point start,
+                 std::int64_t packet_count) {
+  if (tracer == nullptr) return;
+  tracer->set_clock([start] {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start).count();
+  });
+  tracer->record(telemetry::EventType::kTransferStart, -1, packet_count);
+}
+
+/// Records the terminal timeout/error event matching `error` ("" = none).
+void end_trace(fobs::telemetry::EventTracer* tracer, const std::string& error) {
+  if (tracer == nullptr || error.empty()) return;
+  tracer->record(error == "timeout" || error == "control connect timeout"
+                     ? telemetry::EventType::kTimeout
+                     : telemetry::EventType::kError);
+}
 
 /// RAII file descriptor.
 class Fd {
@@ -117,6 +137,10 @@ SenderResult send_object(const SenderOptions& options, std::span<const std::uint
   Fd control;
   const auto start = Clock::now();
   const auto deadline = start + std::chrono::milliseconds(options.timeout_ms);
+  core.set_tracer(options.tracer);
+  begin_trace(options.tracer, start, spec.packet_count());
+  auto& metrics = telemetry::MetricsRegistry::global();
+  metrics.counter("fobs.posix.sender.transfers").inc();
 
   while (!core.completion_received()) {
     if (Clock::now() >= deadline) {
@@ -157,6 +181,7 @@ SenderResult send_object(const SenderOptions& options, std::span<const std::uint
 
     // Phase 1: batch-send.
     const int batch = core.current_batch_size();
+    int sent_in_batch = 0;
     for (int i = 0; i < batch && !core.all_acked(); ++i) {
       // Peek the next packet by selecting only after the socket is
       // known writable: try a zero-copy check via poll with 0 timeout.
@@ -181,7 +206,11 @@ SenderResult send_object(const SenderOptions& options, std::span<const std::uint
         result.error = std::string("sendto failed: ") + std::strerror(errno);
         break;
       }
+      if (result.error.empty()) ++sent_in_batch;
       if (!result.error.empty()) break;
+    }
+    if (options.tracer != nullptr && sent_in_batch > 0) {
+      options.tracer->record(telemetry::EventType::kBatchSent, -1, sent_in_batch);
     }
     if (!result.error.empty()) break;
 
@@ -201,6 +230,19 @@ SenderResult send_object(const SenderOptions& options, std::span<const std::uint
     result.goodput_mbps = mbps(spec.object_bytes, elapsed);
     result.error.clear();
   }
+  end_trace(options.tracer, result.error);
+  metrics.counter("fobs.posix.sender.packets_sent").inc(result.packets_sent);
+  if (result.completed) {
+    metrics.counter("fobs.posix.sender.completed").inc();
+    metrics
+        .histogram("fobs.posix.sender.elapsed_ms",
+                   {1, 10, 100, 1'000, 10'000, 60'000, 600'000})
+        .observe(static_cast<std::int64_t>(elapsed * 1e3));
+  } else if (result.error == "timeout") {
+    metrics.counter("fobs.posix.sender.timeouts").inc();
+  } else {
+    metrics.counter("fobs.posix.sender.errors").inc();
+  }
   return result;
 }
 
@@ -212,6 +254,8 @@ ReceiverResult receive_object(const ReceiverOptions& options, std::span<std::uin
   ReceiverResult result;
   fobs::core::TransferSpec spec{static_cast<std::int64_t>(buffer.size()),
                                 options.packet_bytes};
+  auto& metrics = telemetry::MetricsRegistry::global();
+  metrics.counter("fobs.posix.receiver.transfers").inc();
 
   Fd udp(::socket(AF_INET, SOCK_DGRAM, 0));
   if (!udp.valid() || !set_nonblocking(udp.get())) {
@@ -237,16 +281,20 @@ ReceiverResult receive_object(const ReceiverOptions& options, std::span<std::uin
   const sockaddr_in control_addr = make_addr(options.sender_host, options.control_port);
   const auto start = Clock::now();
   const auto deadline = start + std::chrono::milliseconds(options.timeout_ms);
+  begin_trace(options.tracer, start, spec.packet_count());
   while (::connect(control.get(), reinterpret_cast<const sockaddr*>(&control_addr),
                    sizeof control_addr) != 0) {
     if (Clock::now() >= deadline) {
       result.error = "control connect timeout";
+      end_trace(options.tracer, result.error);
+      metrics.counter("fobs.posix.receiver.timeouts").inc();
       return result;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
 
   fobs::core::ReceiverCore core(spec, options.core);
+  core.set_tracer(options.tracer);
   std::vector<std::uint8_t> datagram(kDataHeaderSize +
                                      static_cast<std::size_t>(options.packet_bytes));
   sockaddr_in from{};
@@ -281,9 +329,15 @@ ReceiverResult receive_object(const ReceiverOptions& options, std::span<std::uin
                   datagram.data() + kDataHeaderSize, static_cast<std::size_t>(len));
     }
     if (outcome.ack_due && have_sender_addr) {
-      const auto ack = encode_ack(core.make_ack());
+      const auto msg = core.make_ack();
+      const auto ack = encode_ack(msg);
       ::sendto(udp.get(), ack.data(), ack.size(), 0, reinterpret_cast<sockaddr*>(&from),
                from_len);
+      if (options.tracer != nullptr) {
+        options.tracer->record(telemetry::EventType::kAckSent,
+                               static_cast<std::int64_t>(msg.ack_no),
+                               static_cast<std::int64_t>(ack.size()));
+      }
     }
   }
 
@@ -298,6 +352,16 @@ ReceiverResult receive_object(const ReceiverOptions& options, std::span<std::uin
   result.packets_received = core.stats().packets_received;
   result.duplicates = core.stats().duplicates;
   if (result.completed) result.goodput_mbps = mbps(spec.object_bytes, elapsed);
+  end_trace(options.tracer, result.completed ? std::string() : result.error);
+  metrics.counter("fobs.posix.receiver.packets_received").inc(result.packets_received);
+  metrics.counter("fobs.posix.receiver.duplicates").inc(result.duplicates);
+  if (result.completed) {
+    metrics.counter("fobs.posix.receiver.completed").inc();
+  } else if (result.error == "timeout") {
+    metrics.counter("fobs.posix.receiver.timeouts").inc();
+  } else {
+    metrics.counter("fobs.posix.receiver.errors").inc();
+  }
   return result;
 }
 

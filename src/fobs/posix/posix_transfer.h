@@ -18,6 +18,7 @@
 
 #include "fobs/receiver_core.h"
 #include "fobs/sender_core.h"
+#include "telemetry/trace.h"
 
 namespace fobs::posix {
 
@@ -31,6 +32,10 @@ struct SenderOptions {
   int timeout_ms = 60'000;
   /// SO_SNDBUF request (0 = system default).
   int send_buffer_bytes = 1 << 20;
+  /// Optional event tracer (must outlive the call). send_object installs
+  /// a steady clock (ns since call start) and records transfer_start,
+  /// batch, ACK, completion, and timeout/error events on it.
+  fobs::telemetry::EventTracer* tracer = nullptr;
 };
 
 struct SenderResult {
@@ -57,6 +62,8 @@ struct ReceiverOptions {
   /// SO_RCVBUF request (0 = system default). This is the buffer whose
   /// overflow during ACK construction the paper's Figure 1 studies.
   int recv_buffer_bytes = 1 << 20;
+  /// Optional event tracer, as in SenderOptions.
+  fobs::telemetry::EventTracer* tracer = nullptr;
 };
 
 struct ReceiverResult {

@@ -18,6 +18,7 @@ ReceiverCore::PacketResult ReceiverCore::on_data_packet(PacketSeq seq) {
   ++stats_.packets_seen;
   if (!received_.set(static_cast<std::size_t>(seq))) {
     ++stats_.duplicates;
+    if (tracer_ != nullptr) tracer_->record(telemetry::EventType::kDuplicate, seq);
     return result;
   }
   result.newly_received = true;
@@ -29,13 +30,24 @@ ReceiverCore::PacketResult ReceiverCore::on_data_packet(PacketSeq seq) {
   }
   result.just_completed = received_.all_set();
   result.ack_due = new_since_ack_ >= config_.ack_frequency || result.just_completed;
+  if (tracer_ != nullptr) {
+    tracer_->record(telemetry::EventType::kPacketPlaced, seq, stats_.packets_received);
+    if (result.just_completed) {
+      tracer_->record(telemetry::EventType::kCompletion, -1, stats_.packets_received);
+    }
+  }
   return result;
 }
 
 AckMessage ReceiverCore::make_ack() {
   new_since_ack_ = 0;
   ++stats_.acks_built;
-  return ack_builder_.build(received_, frontier_, stats_.packets_received);
+  auto ack = ack_builder_.build(received_, frontier_, stats_.packets_received);
+  if (tracer_ != nullptr) {
+    tracer_->record(telemetry::EventType::kAckBuilt,
+                    static_cast<std::int64_t>(ack.ack_no), ack.total_received);
+  }
+  return ack;
 }
 
 }  // namespace fobs::core

@@ -12,6 +12,7 @@
 #include "common/bitmap.h"
 #include "fobs/ack.h"
 #include "fobs/types.h"
+#include "telemetry/trace.h"
 
 namespace fobs::core {
 
@@ -48,6 +49,12 @@ class ReceiverCore {
   /// Builds the next acknowledgement (resets the ack-frequency counter).
   AckMessage make_ack();
 
+  /// Attaches a per-transfer event tracer (nullptr = telemetry off, the
+  /// default; must outlive the core). Records packet placement,
+  /// duplicates, ACK construction, and completion.
+  void set_tracer(telemetry::EventTracer* tracer) { tracer_ = tracer; }
+  [[nodiscard]] telemetry::EventTracer* tracer() const { return tracer_; }
+
   [[nodiscard]] bool complete() const { return received_.all_set(); }
   /// All packets below the frontier have been received.
   [[nodiscard]] PacketSeq frontier() const { return frontier_; }
@@ -64,6 +71,7 @@ class ReceiverCore {
   PacketSeq frontier_ = 0;
   std::int64_t new_since_ack_ = 0;
   ReceiverStats stats_;
+  telemetry::EventTracer* tracer_ = nullptr;
 };
 
 }  // namespace fobs::core

@@ -38,6 +38,10 @@ std::int64_t SenderCore::on_ack(const AckMessage& ack) {
   ++stats_.acks_processed;
   const std::int64_t newly = apply_ack(ack, acked_view_);
   stats_.packets_acked += newly;
+  if (tracer_ != nullptr) {
+    tracer_->record(telemetry::EventType::kAckProcessed,
+                    static_cast<std::int64_t>(ack.ack_no), newly);
+  }
   if (config_.batch_policy == BatchPolicy::kAckAdaptive) update_adaptive_batch(ack);
   if (config_.adaptive.enabled) {
     // Feed the greediness controller with what happened since the last

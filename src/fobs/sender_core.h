@@ -24,6 +24,7 @@
 #include "fobs/adaptive.h"
 #include "fobs/selection.h"
 #include "fobs/types.h"
+#include "telemetry/trace.h"
 
 namespace fobs::core {
 
@@ -82,8 +83,20 @@ class SenderCore {
   /// fallback to re-probe the network from a clean slate).
   void reset_adaptive() { adaptive_.reset(); }
 
+  /// Attaches a per-transfer event tracer (nullptr = telemetry off, the
+  /// default). The tracer must outlive the core; the core records
+  /// protocol events (ACK processed, completion) and leaves transport
+  /// events (batches, timeouts) to the driver.
+  void set_tracer(telemetry::EventTracer* tracer) { tracer_ = tracer; }
+  [[nodiscard]] telemetry::EventTracer* tracer() const { return tracer_; }
+
   /// The receiver's TCP "all data received" signal.
-  void on_completion_signal() { completion_received_ = true; }
+  void on_completion_signal() {
+    completion_received_ = true;
+    if (tracer_ != nullptr) {
+      tracer_->record(telemetry::EventType::kCompletion, -1, stats_.packets_sent);
+    }
+  }
   [[nodiscard]] bool completion_received() const { return completion_received_; }
 
   /// True when the local view believes everything was received. The
@@ -125,6 +138,7 @@ class SenderCore {
   std::int64_t sent_at_last_ack_ = 0;
   std::int64_t received_at_last_ack_ = 0;
   SenderStats stats_;
+  telemetry::EventTracer* tracer_ = nullptr;
 };
 
 }  // namespace fobs::core

@@ -40,6 +40,10 @@ SimSender::SimSender(Host& host, TransferSpec spec, SenderConfig config,
 void SimSender::start() {
   if (started_) return;
   started_ = true;
+  if (auto* tracer = core_.tracer()) {
+    tracer->set_clock([this] { return host_.network().sim().now().ns(); });
+    tracer->record(telemetry::EventType::kTransferStart, -1, spec_.packet_count());
+  }
   step();
 }
 
@@ -78,6 +82,7 @@ void SimSender::step() {
   // Phase 1: batch-send without blocking.
   const int batch = core_.current_batch_size();
   const std::int64_t max_payload = spec_.packet_bytes + kDataHeaderBytes;
+  int sent_in_batch = 0;
   for (int i = 0; i < batch; ++i) {
     if (core_.all_acked()) break;
     if (!data_out_.writable(max_payload)) {
@@ -92,6 +97,9 @@ void SimSender::step() {
           });
         }
       });
+      if (sent_in_batch > 0 && core_.tracer() != nullptr) {
+        core_.tracer()->record(telemetry::EventType::kBatchSent, -1, sent_in_batch);
+      }
       if (busy > Duration::zero()) {
         // Model the CPU time of this iteration before the wait ends.
         return;  // resume comes from the writability callback
@@ -110,7 +118,11 @@ void SimSender::step() {
                           len + kDataHeaderBytes, payload);
     assert(ok);
     (void)ok;
+    ++sent_in_batch;
     busy += host_.cpu().send_cost(fobs::util::DataSize::bytes(len + kDataHeaderBytes));
+  }
+  if (sent_in_batch > 0 && core_.tracer() != nullptr) {
+    core_.tracer()->record(telemetry::EventType::kBatchSent, -1, sent_in_batch);
   }
 
   if (core_.all_acked()) {
@@ -145,6 +157,9 @@ void SimSender::enter_fallback() {
   probe_clear_streak_ = 0;
   FOBS_INFO("fobs.sender", "entering TCP fallback (loss estimate "
                                << core_.adaptive().loss_estimate() << ")");
+  if (auto* tracer = core_.tracer()) {
+    tracer->record(telemetry::EventType::kFallbackEnter, -1, fallback_episodes_);
+  }
   auto& sim = host_.network().sim();
   if (tcp_data_ == nullptr) {
     tcp_data_ = std::make_unique<fobs::net::TcpConnection>(host_, control_channel_config());
@@ -161,6 +176,9 @@ void SimSender::exit_fallback() {
   mode_ = Mode::kUdp;
   core_.reset_adaptive();
   FOBS_INFO("fobs.sender", "congestion dissipated; resuming greedy UDP");
+  if (auto* tracer = core_.tracer()) {
+    tracer->record(telemetry::EventType::kFallbackExit, -1, packets_via_tcp_);
+  }
   step();
 }
 
@@ -244,6 +262,10 @@ SimReceiver::SimReceiver(Host& host, TransferSpec spec, ReceiverConfig config,
 void SimReceiver::start() {
   if (started_) return;
   started_ = true;
+  if (auto* tracer = core_.tracer()) {
+    tracer->set_clock([this] { return host_.network().sim().now().ns(); });
+    tracer->record(telemetry::EventType::kTransferStart, -1, spec_.packet_count());
+  }
   control_conn_.connect(sender_node_,
                         static_cast<PortId>(port_base_ + kCompletionPortOffset));
   step();
@@ -268,6 +290,20 @@ Duration SimReceiver::process_packet(const DataPacketPayload& payload) {
                          bytes, AckPacketPayload{std::move(ack)})) {
       ++acks_sent_;
       busy += host_.cpu().send_cost(fobs::util::DataSize::bytes(bytes));
+      if (auto* tracer = core_.tracer()) {
+        tracer->record(telemetry::EventType::kAckSent,
+                       static_cast<std::int64_t>(acks_sent_), bytes);
+      }
+    }
+  }
+  // Packets that overflowed the socket buffer while this loop was busy
+  // (placing packets, building the ACK) are the paper's Figure 1 loss.
+  if (auto* tracer = core_.tracer()) {
+    const std::uint64_t drops = data_in_.stats().rx_overflow_drops;
+    if (drops > traced_drops_) {
+      tracer->record(telemetry::EventType::kDropWhileAcking, -1,
+                     static_cast<std::int64_t>(drops - traced_drops_));
+      traced_drops_ = drops;
     }
   }
   if (result.just_completed) {

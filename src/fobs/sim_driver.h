@@ -57,6 +57,11 @@ class SimSender {
   /// Starts the send loop (call after the receiver exists).
   void start();
 
+  /// Attaches a per-transfer event tracer (must outlive the driver).
+  /// `start()` installs the sim clock on it and records transfer_start;
+  /// the driver adds batch/fallback events on top of the core's.
+  void set_tracer(telemetry::EventTracer* tracer) { core_.set_tracer(tracer); }
+
   [[nodiscard]] const SenderCore& core() const { return core_; }
   [[nodiscard]] bool finished() const { return finished_; }
   [[nodiscard]] TimePoint finished_at() const { return finished_at_; }
@@ -119,6 +124,11 @@ class SimReceiver {
   /// Opens the TCP control connection and starts polling.
   void start();
 
+  /// Attaches a per-transfer event tracer (must outlive the driver).
+  /// `start()` installs the sim clock on it; the driver adds ack_sent
+  /// and drop_while_acking events on top of the core's.
+  void set_tracer(telemetry::EventTracer* tracer) { core_.set_tracer(tracer); }
+
   [[nodiscard]] const ReceiverCore& core() const { return core_; }
   [[nodiscard]] bool complete() const { return core_.complete(); }
   [[nodiscard]] TimePoint completed_at() const { return completed_at_; }
@@ -148,6 +158,7 @@ class SimReceiver {
   bool started_ = false;
   TimePoint completed_at_;
   std::uint64_t acks_sent_ = 0;
+  std::uint64_t traced_drops_ = 0;
 };
 
 }  // namespace fobs::core

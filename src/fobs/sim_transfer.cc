@@ -41,6 +41,8 @@ SimTransferResult run_sim_transfer(fobs::sim::Network& network, fobs::host::Host
   SimReceiver receiver(receiver_host, config.spec, config.receiver,
                        config.carry_data ? sink.data() : nullptr, sender_host.id(),
                        config.receiver_socket_buffer_bytes);
+  if (config.sender_tracer != nullptr) sender.set_tracer(config.sender_tracer);
+  if (config.receiver_tracer != nullptr) receiver.set_tracer(config.receiver_tracer);
 
   bool done = false;
   sender.set_on_finished([&done] { done = true; });
@@ -49,6 +51,15 @@ SimTransferResult run_sim_transfer(fobs::sim::Network& network, fobs::host::Host
   sender.start();
 
   while (!done && sim.now() < deadline && sim.step()) {
+  }
+
+  if (!sender.finished()) {
+    if (config.sender_tracer != nullptr) {
+      config.sender_tracer->record(telemetry::EventType::kTimeout);
+    }
+    if (config.receiver_tracer != nullptr && !receiver.complete()) {
+      config.receiver_tracer->record(telemetry::EventType::kTimeout);
+    }
   }
 
   SimTransferResult result;

@@ -25,6 +25,10 @@ struct SimTransferConfig {
   /// Allocate and verify real payload bytes (off = faster, size-only).
   bool carry_data = true;
   std::uint64_t data_seed = 0x5EED;
+  /// Optional per-endpoint event tracers (must outlive the call; may be
+  /// the same tracer for one merged timeline). Null = telemetry off.
+  fobs::telemetry::EventTracer* sender_tracer = nullptr;
+  fobs::telemetry::EventTracer* receiver_tracer = nullptr;
 };
 
 struct SimTransferResult {

@@ -1,0 +1,140 @@
+#include "telemetry/trace.h"
+
+#include <fstream>
+#include <utility>
+
+namespace fobs::telemetry {
+
+const char* to_string(EventType type) {
+  switch (type) {
+    case EventType::kTransferStart:
+      return "transfer_start";
+    case EventType::kBatchSent:
+      return "batch_sent";
+    case EventType::kPacketPlaced:
+      return "packet_placed";
+    case EventType::kDuplicate:
+      return "duplicate";
+    case EventType::kAckBuilt:
+      return "ack_built";
+    case EventType::kAckSent:
+      return "ack_sent";
+    case EventType::kAckProcessed:
+      return "ack_processed";
+    case EventType::kDropWhileAcking:
+      return "drop_while_acking";
+    case EventType::kFallbackEnter:
+      return "fallback_enter";
+    case EventType::kFallbackExit:
+      return "fallback_exit";
+    case EventType::kCompletion:
+      return "completion";
+    case EventType::kTimeout:
+      return "timeout";
+    case EventType::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+EventTracer::EventTracer(ClockFn clock, std::size_t max_events)
+    : clock_(std::move(clock)), max_events_(max_events) {}
+
+void EventTracer::set_clock(ClockFn clock) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  clock_ = std::move(clock);
+}
+
+void EventTracer::record(EventType type, std::int64_t seq, std::int64_t value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::int64_t now = clock_ ? clock_() : 0;
+  ++counts_[static_cast<std::size_t>(type)];
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(Event{now, type, seq, value});
+}
+
+void EventTracer::record_at(std::int64_t t_ns, EventType type, std::int64_t seq,
+                            std::int64_t value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++counts_[static_cast<std::size_t>(type)];
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(Event{t_ns, type, seq, value});
+}
+
+std::vector<Event> EventTracer::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t EventTracer::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::size_t EventTracer::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::array<std::int64_t, kEventTypeCount> EventTracer::counts() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+std::int64_t EventTracer::count(EventType type) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counts_[static_cast<std::size_t>(type)];
+}
+
+void EventTracer::write_jsonl(std::ostream& os) const {
+  const auto events = snapshot();
+  for (const auto& event : events) {
+    os << "{\"t_ns\":" << event.t_ns << ",\"event\":\"" << to_string(event.type)
+       << "\",\"seq\":" << event.seq << ",\"value\":" << event.value << "}\n";
+  }
+}
+
+bool EventTracer::write_jsonl_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_jsonl(out);
+  return static_cast<bool>(out);
+}
+
+fobs::util::TextTable EventTracer::summary() const {
+  std::array<std::int64_t, kEventTypeCount> counts{};
+  std::array<std::int64_t, kEventTypeCount> first{};
+  std::array<std::int64_t, kEventTypeCount> last{};
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    counts = counts_;
+    for (const auto& event : events_) {
+      const auto i = static_cast<std::size_t>(event.type);
+      if (first[i] == 0 && last[i] == 0) first[i] = event.t_ns;
+      last[i] = event.t_ns;
+    }
+  }
+  fobs::util::TextTable table({"event", "count", "first (ms)", "last (ms)"});
+  for (std::size_t i = 0; i < kEventTypeCount; ++i) {
+    if (counts[i] == 0) continue;
+    table.add_row({to_string(static_cast<EventType>(i)), std::to_string(counts[i]),
+                   fobs::util::TextTable::num(static_cast<double>(first[i]) / 1e6, 3),
+                   fobs::util::TextTable::num(static_cast<double>(last[i]) / 1e6, 3)});
+  }
+  return table;
+}
+
+void EventTracer::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  counts_.fill(0);
+  dropped_ = 0;
+}
+
+}  // namespace fobs::telemetry

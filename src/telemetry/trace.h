@@ -1,0 +1,113 @@
+// Per-transfer protocol event tracing.
+//
+// An EventTracer records timestamped protocol events (batch sent, ACK
+// processed, packet placed, drop-while-acking, fallback entered,
+// completion, timeout, ...) from one transfer endpoint and exports them
+// as JSONL — one self-contained JSON object per line — plus a summary
+// table. The protocol cores and drivers hold a *nullable* tracer
+// pointer: with no tracer attached the hot paths pay a single branch,
+// so telemetry is effectively free when disabled.
+//
+// Timestamps come from an injected clock so the same tracer works under
+// the discrete-event simulator (sim time) and the POSIX drivers (steady
+// clock since transfer start). Drivers install their clock when the
+// transfer starts; see docs/TELEMETRY.md for the event schema.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+
+namespace fobs::telemetry {
+
+/// Protocol events a transfer endpoint can emit. The wire names used in
+/// JSONL output are the snake_case strings from `to_string`.
+enum class EventType : std::uint8_t {
+  kTransferStart = 0,  ///< driver entered its transfer loop
+  kBatchSent,          ///< sender finished one batch; value = packets
+  kPacketPlaced,       ///< receiver placed a new packet; seq = packet
+  kDuplicate,          ///< receiver saw an already-placed packet
+  kAckBuilt,           ///< receiver built an ACK; seq = ack_no
+  kAckSent,            ///< driver handed the ACK to the network
+  kAckProcessed,       ///< sender folded an ACK in; value = newly acked
+  kDropWhileAcking,    ///< socket-buffer drops while receiver was busy
+  kFallbackEnter,      ///< §7 sender switched to the TCP channel
+  kFallbackExit,       ///< sender resumed greedy UDP
+  kCompletion,         ///< endpoint learned the transfer is complete
+  kTimeout,            ///< driver gave up at its deadline
+  kError,              ///< driver hit a non-timeout failure
+};
+inline constexpr std::size_t kEventTypeCount = 13;
+
+[[nodiscard]] const char* to_string(EventType type);
+
+/// One recorded event. `seq` is a packet sequence or ACK number (-1
+/// when not applicable); `value` is an event-specific magnitude
+/// (packets in a batch, newly acked count, dropped packets, ...).
+struct Event {
+  std::int64_t t_ns = 0;
+  EventType type = EventType::kTransferStart;
+  std::int64_t seq = -1;
+  std::int64_t value = 0;
+};
+
+/// Thread-safe append-only recorder for one transfer endpoint.
+///
+/// Recording is mutex-guarded (events arrive from a single driver loop
+/// in practice; the lock is uncontended) and bounded: past `max_events`
+/// the event list stops growing but per-type counts stay exact, so a
+/// truncated trace still summarizes correctly.
+class EventTracer {
+ public:
+  using ClockFn = std::function<std::int64_t()>;
+
+  static constexpr std::size_t kDefaultMaxEvents = 1 << 20;
+
+  explicit EventTracer(ClockFn clock = {}, std::size_t max_events = kDefaultMaxEvents);
+
+  /// Replaces the timestamp source. Drivers call this when the transfer
+  /// starts (sim time or steady clock since start).
+  void set_clock(ClockFn clock);
+
+  /// Records an event stamped with the current clock (0 if no clock).
+  void record(EventType type, std::int64_t seq = -1, std::int64_t value = 0);
+  /// Records an event with an explicit timestamp.
+  void record_at(std::int64_t t_ns, EventType type, std::int64_t seq = -1,
+                 std::int64_t value = 0);
+
+  [[nodiscard]] std::vector<Event> snapshot() const;
+  [[nodiscard]] std::size_t size() const;
+  /// Events not retained because the `max_events` cap was reached.
+  [[nodiscard]] std::size_t dropped() const;
+  /// Exact per-type counts (index by static_cast<size_t>(EventType)),
+  /// including events past the retention cap.
+  [[nodiscard]] std::array<std::int64_t, kEventTypeCount> counts() const;
+  [[nodiscard]] std::int64_t count(EventType type) const;
+
+  /// Writes one JSON object per event:
+  ///   {"t_ns":123,"event":"ack_processed","seq":7,"value":64}
+  void write_jsonl(std::ostream& os) const;
+  /// Convenience: write_jsonl to `path`; false on I/O failure.
+  bool write_jsonl_file(const std::string& path) const;
+
+  /// Per-type counts with first/last timestamps, as an aligned table.
+  [[nodiscard]] fobs::util::TextTable summary() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  ClockFn clock_;
+  std::size_t max_events_;
+  std::vector<Event> events_;
+  std::array<std::int64_t, kEventTypeCount> counts_{};
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace fobs::telemetry

@@ -1,8 +1,13 @@
 // Robustness fuzz for the POSIX wire codec: random bytes must never
-// crash the decoders, and valid encodings must survive random mutation
-// without being mis-parsed into out-of-range values.
+// crash the decoders, valid encodings must survive random mutation
+// without being mis-parsed into out-of-range values, and random valid
+// messages must round-trip exactly — including field extremes and empty
+// bitmap fragments. Runs under the asan-ubsan preset (ctest label
+// "sanitize"), where any out-of-bounds read or UB aborts the test.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/rng.h"
@@ -12,6 +17,32 @@ namespace fobs::posix {
 namespace {
 
 class CodecFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Draws an AckMessage whose fields hit extremes with real probability:
+// every 64-bit field is either a uniform draw or one of the interesting
+// boundary values, and the fragment is 0..512 bits of random bitmap.
+core::AckMessage random_ack(util::Rng& rng) {
+  const auto pick_i64 = [&rng]() -> std::int64_t {
+    switch (rng.uniform_int(0, 4)) {
+      case 0: return 0;
+      case 1: return 1;
+      case 2: return std::numeric_limits<std::int64_t>::max();
+      case 3: return static_cast<std::int64_t>(rng.next());
+      default: return rng.uniform_int(0, 1 << 20);
+    }
+  };
+  core::AckMessage ack;
+  ack.ack_no = rng.uniform_int(0, 1) != 0 ? rng.next()
+                                          : std::numeric_limits<std::uint64_t>::max();
+  ack.total_received = pick_i64();
+  ack.frontier = pick_i64();
+  ack.fragment_start = pick_i64();
+  ack.fragment_bits = static_cast<std::int32_t>(rng.uniform_int(0, 512));
+  ack.fragment.resize((static_cast<std::size_t>(ack.fragment_bits) + 7) / 8);
+  for (auto& byte : ack.fragment) byte = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  ack.complete = rng.uniform_int(0, 1) != 0;
+  return ack;
+}
 
 TEST_P(CodecFuzz, RandomBytesNeverCrashDecoders) {
   util::Rng rng(GetParam());
@@ -64,6 +95,72 @@ TEST_P(CodecFuzz, TruncationsAreAlwaysRejectedOrConsistent) {
                 static_cast<std::size_t>(decoded->fragment_bits));
     }
   }
+}
+
+// The property the protocol relies on: encode/decode is the identity on
+// every well-formed AckMessage, bit for bit, field extremes included.
+TEST_P(CodecFuzz, RandomAcksRoundTripExactly) {
+  util::Rng rng(GetParam() + 3000);
+  for (int iteration = 0; iteration < 1000; ++iteration) {
+    const auto ack = random_ack(rng);
+    const auto wire = encode_ack(ack);
+    const auto decoded = decode_ack(wire.data(), wire.size());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->ack_no, ack.ack_no);
+    EXPECT_EQ(decoded->total_received, ack.total_received);
+    EXPECT_EQ(decoded->frontier, ack.frontier);
+    EXPECT_EQ(decoded->fragment_start, ack.fragment_start);
+    EXPECT_EQ(decoded->fragment_bits, ack.fragment_bits);
+    EXPECT_EQ(decoded->fragment, ack.fragment);
+    EXPECT_EQ(decoded->complete, ack.complete);
+  }
+}
+
+TEST(CodecEdges, DataHeaderFieldExtremes) {
+  for (const core::PacketSeq seq : {core::PacketSeq{0}, core::PacketSeq{1},
+                                    std::numeric_limits<core::PacketSeq>::max(),
+                                    core::PacketSeq{-1}}) {
+    std::uint8_t buf[kDataHeaderSize];
+    encode_data_header(DataHeader{seq}, buf);
+    const auto decoded = decode_data_header(buf, sizeof buf);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->seq, seq);
+  }
+}
+
+TEST(CodecEdges, EmptyFragmentAckRoundTrips) {
+  core::AckMessage ack;
+  ack.ack_no = std::numeric_limits<std::uint64_t>::max();
+  ack.total_received = std::numeric_limits<std::int64_t>::max();
+  ack.frontier = std::numeric_limits<std::int64_t>::max();
+  ack.fragment_start = 0;
+  ack.fragment_bits = 0;
+  ack.complete = true;
+  const auto wire = encode_ack(ack);
+  const auto decoded = decode_ack(wire.data(), wire.size());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->ack_no, ack.ack_no);
+  EXPECT_EQ(decoded->total_received, ack.total_received);
+  EXPECT_EQ(decoded->frontier, ack.frontier);
+  EXPECT_TRUE(decoded->fragment.empty());
+  EXPECT_TRUE(decoded->complete);
+}
+
+TEST(CodecEdges, NegativeFragmentBitsAreRejected) {
+  core::AckMessage ack;
+  ack.fragment_bits = 8;
+  ack.fragment = {0xFF};
+  auto wire = encode_ack(ack);
+  // Patch the on-wire fragment_bits field (offset 40) to 0x80000000,
+  // which decodes to a negative int32.
+  wire[40] = 0x80;
+  wire[41] = wire[42] = wire[43] = 0;
+  EXPECT_FALSE(decode_ack(wire.data(), wire.size()).has_value());
+}
+
+TEST(CodecEdges, ZeroLengthBufferRejectedWithoutReads) {
+  EXPECT_FALSE(decode_data_header(nullptr, 0).has_value());
+  EXPECT_FALSE(decode_ack(nullptr, 0).has_value());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Values(1, 2, 3));

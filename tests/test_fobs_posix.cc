@@ -1,7 +1,10 @@
-// Real-socket FOBS over loopback: byte-exact delivery end to end.
+// Real-socket FOBS over loopback: byte-exact delivery end to end, plus
+// the give-up paths (no peer -> timeout within timeout_ms, with the
+// telemetry trace ending in a timeout event).
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -9,6 +12,7 @@
 #include "fobs/posix/codec.h"
 #include "fobs/posix/posix_transfer.h"
 #include "fobs/sim_transfer.h"
+#include "telemetry/trace.h"
 
 namespace fobs {
 namespace {
@@ -109,6 +113,60 @@ TEST(FobsPosixTransfer, OddSizesLoopback) {
 
 TEST(FobsPosixTransfer, LargePacketsLoopback) {
   run_loopback_transfer(4 * 1024 * 1024, 8192, 32, 30);
+}
+
+TEST(FobsPosixTransfer, SenderTimesOutWithNoReceiver) {
+  const auto object = core::make_pattern(64 * 1024, 0xDEAD);
+  telemetry::EventTracer trace;
+
+  posix::SenderOptions opts;
+  opts.data_port = port_base(40);
+  opts.control_port = port_base(41);
+  opts.timeout_ms = 1'000;
+  opts.tracer = &trace;
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = posix::send_object(opts, std::span<const std::uint8_t>(object));
+  const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+
+  EXPECT_FALSE(result.completed);
+  EXPECT_FALSE(result.error.empty());
+  // Must give up at its deadline, not hang (generous slack for CI).
+  EXPECT_LT(elapsed_ms, opts.timeout_ms + 5'000);
+
+  const auto events = trace.snapshot();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.front().type, telemetry::EventType::kTransferStart);
+  EXPECT_EQ(events.back().type, telemetry::EventType::kTimeout);
+  EXPECT_EQ(trace.count(telemetry::EventType::kCompletion), 0);
+}
+
+TEST(FobsPosixTransfer, ReceiverTimesOutWithNoSender) {
+  std::vector<std::uint8_t> sink(64 * 1024, 0);
+  telemetry::EventTracer trace;
+
+  posix::ReceiverOptions opts;
+  opts.data_port = port_base(42);
+  opts.control_port = port_base(43);
+  opts.timeout_ms = 1'000;
+  opts.tracer = &trace;
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = posix::receive_object(opts, std::span<std::uint8_t>(sink));
+  const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+
+  EXPECT_FALSE(result.completed);
+  EXPECT_FALSE(result.error.empty());
+  EXPECT_LT(elapsed_ms, opts.timeout_ms + 5'000);
+
+  const auto events = trace.snapshot();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.front().type, telemetry::EventType::kTransferStart);
+  EXPECT_EQ(events.back().type, telemetry::EventType::kTimeout);
 }
 
 }  // namespace

@@ -1,0 +1,110 @@
+// Golden regression tests: fixed-seed simulated transfers must
+// reproduce EXACT packet-level numbers. The simulator is deterministic
+// (integer-nanosecond event times, seeded RNG, no wall clock), so any
+// change in these numbers means a behavioural change in the protocol
+// core, the drivers, or the network model — intended or not. They exist
+// so such changes are visible in review instead of slipping through as
+// "the averages still look right".
+//
+// Re-blessing procedure (after an INTENTIONAL behaviour change):
+//   1. Build and run this binary; each failing EXPECT prints
+//      "actual vs expected" for the changed quantity.
+//   2. Copy the actual values into the Golden tables below.
+//   3. In the PR description, explain WHY the numbers moved (e.g. "ack
+//      rotation now starts at the frontier, so one fewer duplicate per
+//      pass") — a golden diff without a mechanism is a bug report.
+// Do NOT re-bless to silence a failure you cannot explain.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "exp/runner.h"
+#include "exp/testbeds.h"
+
+namespace fobs {
+namespace {
+
+struct Golden {
+  std::int64_t packets_needed = 0;
+  std::int64_t packets_sent = 0;
+  std::uint64_t acks_sent = 0;
+  std::int64_t duplicates = 0;
+  std::uint64_t socket_drops = 0;
+};
+
+void expect_golden(const core::SimTransferResult& result, const Golden& golden) {
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.packets_needed, golden.packets_needed);
+  EXPECT_EQ(result.packets_sent, golden.packets_sent);
+  EXPECT_EQ(result.acks_sent, golden.acks_sent);
+  EXPECT_EQ(result.duplicates_at_receiver, golden.duplicates);
+  EXPECT_EQ(result.receiver_socket_drops, golden.socket_drops);
+  // Waste is derived from the packet counters, so assert the exact
+  // arithmetic rather than a snapshotted double.
+  EXPECT_DOUBLE_EQ(result.waste,
+                   static_cast<double>(golden.packets_sent - golden.packets_needed) /
+                       static_cast<double>(golden.packets_needed));
+}
+
+exp::FobsRunParams golden_params() {
+  exp::FobsRunParams params;
+  params.object_bytes = 4 * 1024 * 1024;  // 4096 packets: fast but lossy enough
+  params.packet_bytes = 1024;
+  params.ack_frequency = 64;
+  return params;
+}
+
+TEST(GoldenRegression, ShortHaulSeed42) {
+  const auto result =
+      exp::run_fobs(exp::spec_for(exp::PathId::kShortHaul), golden_params(), 42);
+  expect_golden(result, Golden{
+                            .packets_needed = 4096,
+                            .packets_sent = 4646,
+                            .acks_sent = 64,
+                            .duplicates = 152,
+                            .socket_drops = 0,
+                        });
+}
+
+TEST(GoldenRegression, LongHaulSeed42) {
+  const auto result =
+      exp::run_fobs(exp::spec_for(exp::PathId::kLongHaul), golden_params(), 42);
+  expect_golden(result, Golden{
+                            .packets_needed = 4096,
+                            .packets_sent = 5103,
+                            .acks_sent = 64,
+                            .duplicates = 380,
+                            .socket_drops = 0,
+                        });
+}
+
+// A second seed per path guards against the numbers above passing by
+// coincidence after a change that only shifts behaviour elsewhere.
+// (On these paths the loss pattern is dominated by deterministic
+// buffer overflow, so the counters happen to match seed 42's — the
+// point is that they are pinned, not that they differ.)
+TEST(GoldenRegression, ShortHaulSeed7) {
+  const auto result =
+      exp::run_fobs(exp::spec_for(exp::PathId::kShortHaul), golden_params(), 7);
+  expect_golden(result, Golden{
+                            .packets_needed = 4096,
+                            .packets_sent = 4646,
+                            .acks_sent = 64,
+                            .duplicates = 152,
+                            .socket_drops = 0,
+                        });
+}
+
+TEST(GoldenRegression, DeterminismAcrossRepeatRuns) {
+  const auto spec = exp::spec_for(exp::PathId::kLongHaul);
+  const auto a = exp::run_fobs(spec, golden_params(), 42);
+  const auto b = exp::run_fobs(spec, golden_params(), 42);
+  EXPECT_EQ(a.packets_sent, b.packets_sent);
+  EXPECT_EQ(a.acks_sent, b.acks_sent);
+  EXPECT_EQ(a.duplicates_at_receiver, b.duplicates_at_receiver);
+  EXPECT_EQ(a.receiver_socket_drops, b.receiver_socket_drops);
+  EXPECT_EQ(a.receiver_elapsed.ns(), b.receiver_elapsed.ns());
+}
+
+}  // namespace
+}  // namespace fobs
