@@ -153,17 +153,38 @@ int run_fetch(const std::string& host, std::uint16_t port, const std::string& na
     return 1;
   }
 
+  // Crash resilience: the bitmap sidecar lives next to the output file,
+  // and an interrupted fetch leaves the partial bytes in <out>.part so a
+  // rerun of the same command resumes instead of starting over.
+  const std::string partial_path = out_path + ".part";
   std::vector<std::uint8_t> buffer(static_cast<std::size_t>(size));
+  if (auto partial = fobs::core::TransferObject::map_file(partial_path);
+      partial && partial->size() == static_cast<std::int64_t>(buffer.size())) {
+    const auto view = partial->view();
+    buffer.assign(view.begin(), view.end());
+    std::printf("fobsd: found partial fetch %s, attempting resume\n", partial_path.c_str());
+  }
   fobs::telemetry::EventTracer trace;
   fobs::posix::ReceiverOptions opts;
   opts.sender_host = host;
   opts.data_port = data_port;
   opts.control_port = static_cast<std::uint16_t>(control_port);
+  opts.checkpoint_path = out_path + ".ckpt";
   opts.tracer = &trace;
   const auto result = fobs::posix::receive_object(opts, std::span<std::uint8_t>(buffer));
   maybe_dump_trace(trace, "fobsd_fetch");
+  if (result.packets_restored > 0) {
+    std::printf("fobsd: resumed from checkpoint (%lld packets already on disk)\n",
+                static_cast<long long>(result.packets_restored));
+  }
   if (!result.completed) {
     std::printf("fobsd: fetch failed: %s\n", result.error.c_str());
+    // Keep the bytes received so far; the checkpoint sidecar already
+    // records which packets they are.
+    auto partial = fobs::core::TransferObject::from_vector(std::move(buffer));
+    if (partial.write_to_file(partial_path)) {
+      std::printf("fobsd: kept partial bytes in %s for resume\n", partial_path.c_str());
+    }
     return 1;
   }
   auto object = fobs::core::TransferObject::from_vector(std::move(buffer));
@@ -171,6 +192,7 @@ int run_fetch(const std::string& host, std::uint16_t port, const std::string& na
     std::printf("fobsd: cannot write %s\n", out_path.c_str());
     return 1;
   }
+  std::remove(partial_path.c_str());
   std::printf("fobsd: fetched %s (%lld bytes, %.0f Mb/s, checksum %016llx)\n", name.c_str(),
               size, result.goodput_mbps,
               static_cast<unsigned long long>(object.checksum()));

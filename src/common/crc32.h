@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320).
+//
+// Used as the per-packet payload checksum on the POSIX wire format and
+// as the integrity seal on resume checkpoints — cheap enough for the
+// hot receive path (table-driven, byte at a time) and strong enough to
+// reject the random corruption the fault-injection harness produces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fobs::util {
+
+/// CRC of `len` bytes starting from `seed` (pass the previous return
+/// value to checksum discontiguous regions as one stream).
+[[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t len,
+                                  std::uint32_t seed = 0);
+
+}  // namespace fobs::util

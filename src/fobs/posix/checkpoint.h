@@ -1,0 +1,43 @@
+// Resume checkpoints: the receiver's bitmap persisted to a sidecar file.
+//
+// The bitmap the FOBS receiver already maintains is a complete restart
+// marker (FT-LADS' object-logging insight applied to this protocol):
+// persist it periodically and a crashed receiver can restart, reload
+// it, and — via the resume handshake on the control channel — have the
+// sender skip every packet the previous incarnation already stored.
+//
+// The file is written atomically (temp file + rename) so a crash
+// mid-checkpoint leaves the previous checkpoint intact, and sealed with
+// a CRC32 so a torn or foreign file is rejected instead of resuming
+// from garbage.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fobs::posix {
+
+struct Checkpoint {
+  std::int64_t object_bytes = 0;
+  std::int64_t packet_bytes = 0;
+  std::int64_t received_count = 0;
+  std::vector<std::uint8_t> bitmap;  ///< packed, Bitmap::extract_range format
+
+  [[nodiscard]] std::int64_t packet_count() const {
+    return packet_bytes > 0 ? (object_bytes + packet_bytes - 1) / packet_bytes : 0;
+  }
+};
+
+/// Serializes `checkpoint` to `path` atomically. False on I/O failure.
+bool save_checkpoint(const std::string& path, const Checkpoint& checkpoint);
+
+/// Loads and validates a checkpoint; nullopt when the file is missing,
+/// torn (CRC mismatch), or structurally inconsistent.
+std::optional<Checkpoint> load_checkpoint(const std::string& path);
+
+/// Removes a checkpoint file (used after a successful transfer).
+void remove_checkpoint(const std::string& path);
+
+}  // namespace fobs::posix

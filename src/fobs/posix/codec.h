@@ -1,8 +1,12 @@
 // Binary wire codec for real-socket FOBS (network byte order).
 //
-// Data packet:  16-byte header (magic, type, flags, seq) + payload.
+// Data packet:  20-byte header (magic, type, flags, seq, payload CRC32)
+//               + payload.
 // ACK packet:   fixed header + packed bitmap fragment.
-// Completion:   8-byte magic token on the TCP control stream.
+// Control stream (TCP): 8-byte completion token, and an optional
+//               resume frame (receiver's full bitmap, CRC-sealed) sent
+//               by a restarted receiver so the sender skips packets the
+//               previous incarnation already stored.
 #pragma once
 
 #include <cstdint>
@@ -18,21 +22,55 @@ inline constexpr std::uint32_t kMagic = 0x464F4253;  // "FOBS"
 inline constexpr std::uint8_t kTypeData = 1;
 inline constexpr std::uint8_t kTypeAck = 2;
 inline constexpr std::uint64_t kCompletionToken = 0x464F4253444F4E45ull;  // "FOBSDONE"
+inline constexpr std::uint64_t kResumeToken = 0x464F425352534D45ull;      // "FOBSRSME"
 
-inline constexpr std::size_t kDataHeaderSize = 16;
+inline constexpr std::size_t kDataHeaderSize = 20;
+/// Fixed part of a resume frame: token, packet_count, received_count,
+/// bitmap byte length. A CRC32 trailer follows the bitmap.
+inline constexpr std::size_t kResumeFixedSize = 8 + 8 + 8 + 4;
+inline constexpr std::size_t kResumeTrailerSize = 4;
+
+/// Largest UDP datagram payload; bounds every length field an ACK can
+/// legitimately declare (a hostile value past this is rejected before
+/// any allocation happens).
+inline constexpr std::int64_t kMaxDatagramBytes = 64 * 1024;
+inline constexpr std::int64_t kMaxAckFragmentBits = kMaxDatagramBytes * 8;
 
 struct DataHeader {
   fobs::core::PacketSeq seq = 0;
+  /// CRC32 (IEEE) over the payload bytes that follow the header.
+  std::uint32_t payload_crc = 0;
 };
 
 /// Writes the data-packet header into `out` (size >= kDataHeaderSize).
 void encode_data_header(const DataHeader& header, std::uint8_t* out);
-/// Parses a data-packet header; nullopt when magic/type mismatch.
+/// Parses a data-packet header; nullopt when magic/type mismatch. The
+/// caller checks `payload_crc` against the payload (see payload_crc()).
 std::optional<DataHeader> decode_data_header(const std::uint8_t* data, std::size_t len);
+
+/// CRC32 of a data packet's payload bytes.
+[[nodiscard]] std::uint32_t payload_crc(const std::uint8_t* payload, std::size_t len);
 
 /// Serializes an AckMessage into a datagram payload.
 std::vector<std::uint8_t> encode_ack(const fobs::core::AckMessage& ack);
-/// Parses an ACK datagram; nullopt when malformed.
+/// Parses an ACK datagram; nullopt when malformed or when declared
+/// sizes exceed what a datagram could physically carry.
 std::optional<fobs::core::AckMessage> decode_ack(const std::uint8_t* data, std::size_t len);
+
+/// A resume frame decoded from the control stream.
+struct ResumeFrame {
+  std::int64_t packet_count = 0;
+  std::int64_t received_count = 0;
+  std::vector<std::uint8_t> bitmap;  ///< packed, Bitmap::extract_range format
+};
+
+/// Serializes a resume frame (token + counts + bitmap + CRC32 trailer).
+std::vector<std::uint8_t> encode_resume(std::int64_t packet_count,
+                                        std::int64_t received_count,
+                                        const std::vector<std::uint8_t>& bitmap);
+/// Total frame size implied by a packet count (for stream reassembly).
+[[nodiscard]] std::size_t resume_frame_size(std::int64_t packet_count);
+/// Parses a complete resume frame; nullopt on bad token/CRC/shape.
+std::optional<ResumeFrame> decode_resume(const std::uint8_t* data, std::size_t len);
 
 }  // namespace fobs::posix

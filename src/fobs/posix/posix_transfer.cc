@@ -7,13 +7,17 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "common/log.h"
+#include "fobs/posix/checkpoint.h"
 #include "fobs/posix/codec.h"
 #include "telemetry/metrics.h"
 
@@ -89,6 +93,107 @@ double mbps(std::int64_t bytes, double seconds) {
   return static_cast<double>(bytes) * 8.0 / seconds / 1e6;
 }
 
+void put_u64be(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
+}
+
+std::uint64_t get_u64be(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+/// Resolves the fault plan for one endpoint: the options field wins,
+/// otherwise FOBS_FAULT_PLAN from the environment. Returns false (and
+/// sets `error`) on a malformed plan.
+bool resolve_fault_plan(const std::string& from_options,
+                        std::optional<fobs::net::FaultInjector>& injector,
+                        std::string& error) {
+  std::string spec = from_options;
+  if (spec.empty()) {
+    if (const char* env = std::getenv("FOBS_FAULT_PLAN")) spec = env;
+  }
+  if (spec.empty()) return true;
+  std::string parse_error;
+  const auto plan = fobs::net::FaultPlan::parse(spec, &parse_error);
+  if (!plan) {
+    error = "invalid fault plan: " + parse_error;
+    return false;
+  }
+  if (!plan->empty()) injector.emplace(*plan);
+  return true;
+}
+
+/// Writes `len` bytes to a non-blocking stream socket, polling for
+/// writability, until done, failure, or `deadline`.
+bool send_all(int fd, const std::uint8_t* data, std::size_t len, Clock::time_point deadline) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EWOULDBLOCK || errno == EAGAIN || errno == EINTR)) {
+      if (Clock::now() >= deadline) return false;
+      pollfd pfd{fd, POLLOUT, 0};
+      ::poll(&pfd, 1, 10);
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+/// Connects a fresh TCP socket to the control port, retrying with
+/// capped exponential backoff until `deadline`. Invalid Fd on failure.
+Fd connect_control(const std::string& host, std::uint16_t port, Clock::time_point deadline) {
+  auto backoff = std::chrono::milliseconds(5);
+  constexpr auto kMaxBackoff = std::chrono::milliseconds(200);
+  while (Clock::now() < deadline) {
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) return {};
+    const sockaddr_in addr = make_addr(host, port);
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) == 0) {
+      set_nonblocking(fd.get());
+      return fd;
+    }
+    // A failed connect() leaves the socket in an unusable state on some
+    // platforms; start over with a fresh one after the backoff.
+    fd.reset();
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, kMaxBackoff);
+  }
+  return {};
+}
+
+/// Wall-clock stall checker shared by both endpoints: `tick` forwards
+/// to the core once per elapsed interval and reports whether the
+/// consecutive-empty streak has reached the give-up limit.
+class StallClock {
+ public:
+  StallClock(Clock::time_point start, int timeout_ms, int intervals)
+      : limit_(std::max(1, intervals)),
+        interval_(std::chrono::milliseconds(std::max(1, timeout_ms / std::max(1, intervals)))),
+        next_check_(start + interval_) {}
+
+  template <typename Core>
+  [[nodiscard]] bool expired(Core& core) {
+    const auto now = Clock::now();
+    while (now >= next_check_) {
+      streak_ = core.on_stall_interval();
+      next_check_ += interval_;
+    }
+    return streak_ >= limit_;
+  }
+
+ private:
+  int limit_;
+  Clock::duration interval_;
+  Clock::time_point next_check_;
+  int streak_ = 0;
+};
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -97,9 +202,24 @@ double mbps(std::int64_t bytes, double seconds) {
 
 SenderResult send_object(const SenderOptions& options, std::span<const std::uint8_t> object) {
   SenderResult result;
+  if (options.data_port == 0 || options.control_port == 0) {
+    result.error = "invalid options: data_port and control_port must be non-zero";
+    return result;
+  }
+  if (options.packet_bytes <= 0) {
+    result.error = "invalid options: packet_bytes must be positive";
+    return result;
+  }
+  if (object.empty()) {
+    result.error = "invalid options: cannot send an empty object";
+    return result;
+  }
   fobs::core::TransferSpec spec{static_cast<std::int64_t>(object.size()),
                                 options.packet_bytes};
   result.packets_needed = spec.packet_count();
+
+  std::optional<fobs::net::FaultInjector> faults;
+  if (!resolve_fault_plan(options.fault_plan, faults, result.error)) return result;
 
   // UDP socket for data out / ACKs in.
   Fd udp(::socket(AF_INET, SOCK_DGRAM, 0));
@@ -113,7 +233,7 @@ SenderResult send_object(const SenderOptions& options, std::span<const std::uint
   }
   const sockaddr_in peer = make_addr(options.receiver_host, options.data_port);
 
-  // TCP listener for the completion signal.
+  // TCP listener for the control channel (completion + resume frames).
   Fd listener(::socket(AF_INET, SOCK_STREAM, 0));
   if (!listener.valid()) {
     result.error = "tcp socket failed";
@@ -135,40 +255,101 @@ SenderResult send_object(const SenderOptions& options, std::span<const std::uint
   std::uint8_t ack_buf[64 * 1024];
 
   Fd control;
+  bool control_ever_connected = false;
+  std::vector<std::uint8_t> control_buf;
   const auto start = Clock::now();
-  const auto deadline = start + std::chrono::milliseconds(options.timeout_ms);
+  StallClock stall(start, options.timeout_ms, options.stall_intervals);
   core.set_tracer(options.tracer);
   begin_trace(options.tracer, start, spec.packet_count());
   auto& metrics = telemetry::MetricsRegistry::global();
   metrics.counter("fobs.posix.sender.transfers").inc();
 
   while (!core.completion_received()) {
-    if (Clock::now() >= deadline) {
+    if (stall.expired(core)) {
       result.error = "timeout";
+      metrics.counter("fobs.fault.stalls").inc();
       break;
     }
 
-    // Accept / read the completion channel.
+    // Accept / read the control channel. A restarted receiver shows up
+    // as EOF on the old connection followed by a fresh accept; its
+    // resume frame (full bitmap) then pre-acks everything the previous
+    // incarnation stored.
     if (!control.valid()) {
       const int fd = ::accept(listener.get(), nullptr, nullptr);
       if (fd >= 0) {
         control = Fd(fd);
         set_nonblocking(fd);
+        if (control_ever_connected) {
+          ++result.reconnects;
+          metrics.counter("fobs.fault.reconnects").inc();
+          if (options.tracer != nullptr) {
+            options.tracer->record(telemetry::EventType::kReconnect, -1, result.reconnects);
+          }
+          // The peer's state is unknown (possibly a from-scratch
+          // restart): drop the ACK view so everything is resent unless
+          // the resume frame that may follow restores it.
+          core.on_peer_restart();
+          // Discard ACKs queued by the previous incarnation — applying
+          // one after the reset would re-mark packets the new receiver
+          // does not have. (An early ACK from the new incarnation can be
+          // discarded too; the next snapshot ACK supersedes it.)
+          while (::recv(udp.get(), ack_buf, sizeof ack_buf, MSG_DONTWAIT) > 0) {
+          }
+        }
+        control_ever_connected = true;
       }
     } else {
-      std::uint64_t token = 0;
-      const ssize_t n = ::recv(control.get(), &token, sizeof token, MSG_DONTWAIT);
-      if (n == sizeof token && token == kCompletionToken) {
-        core.on_completion_signal();
-        break;
+      std::uint8_t tmp[4096];
+      const ssize_t n = ::recv(control.get(), tmp, sizeof tmp, MSG_DONTWAIT);
+      if (n > 0) {
+        control_buf.insert(control_buf.end(), tmp, tmp + n);
+      } else if (n == 0 ||
+                 (n < 0 && errno != EWOULDBLOCK && errno != EAGAIN && errno != EINTR)) {
+        control.reset();
+        control_buf.clear();
       }
+      // Parse whole frames off the buffered stream.
+      while (control_buf.size() >= 8) {
+        const std::uint64_t token = get_u64be(control_buf.data());
+        if (token == kCompletionToken) {
+          core.on_completion_signal();
+          break;
+        }
+        if (token != kResumeToken) {
+          // Desynced or garbage stream: drop the connection and let the
+          // receiver re-establish it cleanly.
+          control.reset();
+          control_buf.clear();
+          break;
+        }
+        const std::size_t frame_size = resume_frame_size(spec.packet_count());
+        if (control_buf.size() < frame_size) break;  // wait for the rest
+        const auto frame = decode_resume(control_buf.data(), frame_size);
+        control_buf.erase(control_buf.begin(),
+                          control_buf.begin() + static_cast<std::ptrdiff_t>(frame_size));
+        if (frame && frame->packet_count == spec.packet_count()) {
+          core.on_resume(frame->bitmap.data(), frame->bitmap.size(), frame->packet_count);
+          metrics.counter("fobs.fault.resumes").inc();
+        }
+      }
+      if (core.completion_received()) break;
     }
 
-    // Phase 2: one non-blocking ACK check.
+    // Phase 2: one non-blocking ACK check. Undecodable datagrams
+    // (corrupted in flight or plain garbage) are counted and dropped;
+    // they never reach the core.
     const ssize_t ack_len = ::recv(udp.get(), ack_buf, sizeof ack_buf, MSG_DONTWAIT);
     if (ack_len > 0) {
       if (auto ack = decode_ack(ack_buf, static_cast<std::size_t>(ack_len))) {
         core.on_ack(*ack);
+      } else {
+        ++result.corrupt_acks_dropped;
+        metrics.counter("fobs.fault.corrupt_drops").inc();
+        if (options.tracer != nullptr) {
+          options.tracer->record(telemetry::EventType::kCorruptDrop, -1,
+                                 result.corrupt_acks_dropped);
+        }
       }
     }
 
@@ -183,31 +364,51 @@ SenderResult send_object(const SenderOptions& options, std::span<const std::uint
     const int batch = core.current_batch_size();
     int sent_in_batch = 0;
     for (int i = 0; i < batch && !core.all_acked(); ++i) {
-      // Peek the next packet by selecting only after the socket is
-      // known writable: try a zero-copy check via poll with 0 timeout.
+      if (faults && faults->crash_due()) {
+        result.error = "injected crash";
+        break;
+      }
       const auto seq = core.select_next();
       if (!seq) break;
       const std::int64_t len = spec.payload_bytes(*seq);
-      encode_data_header(DataHeader{*seq}, packet.data());
+      DataHeader header{*seq,
+                        payload_crc(object.data() + spec.offset_of(*seq),
+                                    static_cast<std::size_t>(len))};
+      encode_data_header(header, packet.data());
       std::memcpy(packet.data() + kDataHeaderSize, object.data() + spec.offset_of(*seq),
                   static_cast<std::size_t>(len));
-      while (true) {
-        const ssize_t sent =
-            ::sendto(udp.get(), packet.data(), kDataHeaderSize + static_cast<std::size_t>(len),
-                     0, reinterpret_cast<const sockaddr*>(&peer), sizeof peer);
-        if (sent >= 0) break;
-        if (errno == EWOULDBLOCK || errno == EAGAIN || errno == ENOBUFS) {
-          // The select()-style wait from the paper: block until the
-          // socket can take the datagram.
-          pollfd pfd{udp.get(), POLLOUT, 0};
-          ::poll(&pfd, 1, 10);
-          continue;
+      int copies = 1;
+      if (faults) {
+        switch (faults->next(fobs::net::FaultChannel::kData)) {
+          case fobs::net::FaultAction::kDrop: copies = 0; break;
+          case fobs::net::FaultAction::kCorrupt:
+            // Flip a payload byte after the CRC was computed, so the
+            // receiver's checksum test fails deterministically.
+            packet[kDataHeaderSize] ^= 0xFF;
+            break;
+          case fobs::net::FaultAction::kDuplicate: copies = 2; break;
+          case fobs::net::FaultAction::kPass: break;
         }
-        result.error = std::string("sendto failed: ") + std::strerror(errno);
-        break;
       }
-      if (result.error.empty()) ++sent_in_batch;
+      for (int copy = 0; copy < copies && result.error.empty(); ++copy) {
+        while (true) {
+          const ssize_t sent = ::sendto(udp.get(), packet.data(),
+                                        kDataHeaderSize + static_cast<std::size_t>(len), 0,
+                                        reinterpret_cast<const sockaddr*>(&peer), sizeof peer);
+          if (sent >= 0) break;
+          if (errno == EWOULDBLOCK || errno == EAGAIN || errno == ENOBUFS) {
+            // The select()-style wait from the paper: block until the
+            // socket can take the datagram.
+            pollfd pfd{udp.get(), POLLOUT, 0};
+            ::poll(&pfd, 1, 10);
+            continue;
+          }
+          result.error = std::string("sendto failed: ") + std::strerror(errno);
+          break;
+        }
+      }
       if (!result.error.empty()) break;
+      ++sent_in_batch;
     }
     if (options.tracer != nullptr && sent_in_batch > 0) {
       options.tracer->record(telemetry::EventType::kBatchSent, -1, sent_in_batch);
@@ -231,6 +432,7 @@ SenderResult send_object(const SenderOptions& options, std::span<const std::uint
     result.error.clear();
   }
   end_trace(options.tracer, result.error);
+  if (faults) metrics.counter("fobs.fault.injected").inc(faults->total_injected());
   metrics.counter("fobs.posix.sender.packets_sent").inc(result.packets_sent);
   if (result.completed) {
     metrics.counter("fobs.posix.sender.completed").inc();
@@ -252,10 +454,25 @@ SenderResult send_object(const SenderOptions& options, std::span<const std::uint
 
 ReceiverResult receive_object(const ReceiverOptions& options, std::span<std::uint8_t> buffer) {
   ReceiverResult result;
+  if (options.data_port == 0 || options.control_port == 0) {
+    result.error = "invalid options: data_port and control_port must be non-zero";
+    return result;
+  }
+  if (options.packet_bytes <= 0) {
+    result.error = "invalid options: packet_bytes must be positive";
+    return result;
+  }
+  if (buffer.empty()) {
+    result.error = "invalid options: cannot receive into an empty buffer";
+    return result;
+  }
   fobs::core::TransferSpec spec{static_cast<std::int64_t>(buffer.size()),
                                 options.packet_bytes};
   auto& metrics = telemetry::MetricsRegistry::global();
   metrics.counter("fobs.posix.receiver.transfers").inc();
+
+  std::optional<fobs::net::FaultInjector> faults;
+  if (!resolve_fault_plan(options.fault_plan, faults, result.error)) return result;
 
   Fd udp(::socket(AF_INET, SOCK_DGRAM, 0));
   if (!udp.valid() || !set_nonblocking(udp.get())) {
@@ -272,37 +489,71 @@ ReceiverResult receive_object(const ReceiverOptions& options, std::span<std::uin
     return result;
   }
 
-  // Completion channel: connect to the sender (retry while it starts).
-  Fd control(::socket(AF_INET, SOCK_STREAM, 0));
-  if (!control.valid()) {
-    result.error = "tcp socket failed";
-    return result;
-  }
-  const sockaddr_in control_addr = make_addr(options.sender_host, options.control_port);
   const auto start = Clock::now();
   const auto deadline = start + std::chrono::milliseconds(options.timeout_ms);
   begin_trace(options.tracer, start, spec.packet_count());
-  while (::connect(control.get(), reinterpret_cast<const sockaddr*>(&control_addr),
-                   sizeof control_addr) != 0) {
-    if (Clock::now() >= deadline) {
-      result.error = "control connect timeout";
-      end_trace(options.tracer, result.error);
-      metrics.counter("fobs.posix.receiver.timeouts").inc();
-      return result;
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  }
 
   fobs::core::ReceiverCore core(spec, options.core);
   core.set_tracer(options.tracer);
+
+  // Resume: pre-seed the bitmap from a compatible checkpoint. The data
+  // bytes themselves must already be in `buffer` (the caller persisted
+  // the partial object, e.g. via a file-backed buffer).
+  if (!options.checkpoint_path.empty()) {
+    if (const auto checkpoint = load_checkpoint(options.checkpoint_path)) {
+      if (checkpoint->object_bytes == spec.object_bytes &&
+          checkpoint->packet_bytes == spec.packet_bytes) {
+        const auto restored = core.restore(checkpoint->bitmap.data(),
+                                           checkpoint->bitmap.size(), spec.packet_count());
+        if (restored >= 0) {
+          result.packets_restored = restored;
+          metrics.counter("fobs.fault.resumes").inc();
+        }
+      } else {
+        FOBS_WARN("fobs.receiver", "checkpoint at " << options.checkpoint_path
+                                                    << " does not match this transfer; ignoring");
+      }
+    }
+  }
+
+  // Control channel: connect with capped exponential backoff (the
+  // sender may not be up yet, or we may be a restarted incarnation).
+  Fd control = connect_control(options.sender_host, options.control_port, deadline);
+  if (!control.valid()) {
+    result.error = "control connect timeout";
+    end_trace(options.tracer, result.error);
+    metrics.counter("fobs.posix.receiver.timeouts").inc();
+    return result;
+  }
+
+  // Announce a restored bitmap so the sender skips what we already have.
+  if (result.packets_restored > 0 || core.complete()) {
+    const auto bitmap = core.received().extract_range(
+        0, static_cast<std::size_t>(spec.packet_count()));
+    const auto frame = encode_resume(spec.packet_count(), result.packets_restored, bitmap);
+    if (!send_all(control.get(), frame.data(), frame.size(), deadline)) {
+      FOBS_WARN("fobs.receiver", "resume frame send failed; sender will re-send everything");
+    }
+  }
+
   std::vector<std::uint8_t> datagram(kDataHeaderSize +
                                      static_cast<std::size_t>(options.packet_bytes));
   sockaddr_in from{};
-  bool have_sender_addr = false;
+  socklen_t sender_addr_len = 0;
+  sockaddr_in sender_addr{};  // learned from the first *valid* data packet
+  StallClock stall(start, options.timeout_ms, options.stall_intervals);
+  int acks_since_checkpoint = 0;
 
   while (!core.complete()) {
-    if (Clock::now() >= deadline) {
+    if (stall.expired(core)) {
       result.error = "timeout";
+      metrics.counter("fobs.fault.stalls").inc();
+      break;
+    }
+    if (faults && faults->crash_due()) {
+      // Simulated kill -9: abandon the transfer without cleanup. Any
+      // checkpoint written so far stays behind for the next incarnation.
+      result.error = "injected crash";
       break;
     }
     socklen_t from_len = sizeof from;
@@ -317,35 +568,110 @@ ReceiverResult receive_object(const ReceiverOptions& options, std::span<std::uin
       result.error = std::string("recvfrom failed: ") + std::strerror(errno);
       break;
     }
-    have_sender_addr = true;
     const auto header = decode_data_header(datagram.data(), static_cast<std::size_t>(n));
     if (!header || header->seq < 0 || header->seq >= spec.packet_count()) continue;
     const std::int64_t len = spec.payload_bytes(header->seq);
     if (n - static_cast<ssize_t>(kDataHeaderSize) < len) continue;  // truncated
+    if (payload_crc(datagram.data() + kDataHeaderSize, static_cast<std::size_t>(len)) !=
+        header->payload_crc) {
+      // Checksum failure: reject before the payload can touch the
+      // object buffer; the greedy sender will resend it.
+      ++result.corrupt_packets_dropped;
+      metrics.counter("fobs.fault.corrupt_drops").inc();
+      if (options.tracer != nullptr) {
+        options.tracer->record(telemetry::EventType::kCorruptDrop, header->seq,
+                               result.corrupt_packets_dropped);
+      }
+      continue;
+    }
+    // Only a fully validated packet may teach us where ACKs go — a
+    // garbage datagram must not be able to redirect the ACK stream.
+    sender_addr = from;
+    sender_addr_len = from_len;
+
+    if (faults) {
+      // The receiver-side data schedule models incoming damage beyond
+      // what the checksum caught: drop = pretend it never arrived.
+      switch (faults->next(fobs::net::FaultChannel::kData)) {
+        case fobs::net::FaultAction::kDrop: continue;
+        case fobs::net::FaultAction::kCorrupt: {
+          ++result.corrupt_packets_dropped;
+          metrics.counter("fobs.fault.corrupt_drops").inc();
+          if (options.tracer != nullptr) {
+            options.tracer->record(telemetry::EventType::kCorruptDrop, header->seq,
+                                   result.corrupt_packets_dropped);
+          }
+          continue;
+        }
+        default: break;
+      }
+    }
 
     const auto outcome = core.on_data_packet(header->seq);
     if (outcome.newly_received) {
       std::memcpy(buffer.data() + spec.offset_of(header->seq),
                   datagram.data() + kDataHeaderSize, static_cast<std::size_t>(len));
     }
-    if (outcome.ack_due && have_sender_addr) {
+    if (outcome.ack_due && sender_addr_len != 0) {
       const auto msg = core.make_ack();
-      const auto ack = encode_ack(msg);
-      ::sendto(udp.get(), ack.data(), ack.size(), 0, reinterpret_cast<sockaddr*>(&from),
-               from_len);
+      auto ack = encode_ack(msg);
+      int copies = 1;
+      if (faults) {
+        switch (faults->next(fobs::net::FaultChannel::kAck)) {
+          case fobs::net::FaultAction::kDrop: copies = 0; break;
+          case fobs::net::FaultAction::kCorrupt:
+            // Smash the magic so the sender counts + rejects it.
+            ack[0] ^= 0xFF;
+            break;
+          case fobs::net::FaultAction::kDuplicate: copies = 2; break;
+          case fobs::net::FaultAction::kPass: break;
+        }
+      }
+      for (int copy = 0; copy < copies; ++copy) {
+        ::sendto(udp.get(), ack.data(), ack.size(), 0,
+                 reinterpret_cast<sockaddr*>(&sender_addr), sender_addr_len);
+      }
       if (options.tracer != nullptr) {
         options.tracer->record(telemetry::EventType::kAckSent,
                                static_cast<std::int64_t>(msg.ack_no),
                                static_cast<std::int64_t>(ack.size()));
       }
+      if (!options.checkpoint_path.empty() &&
+          ++acks_since_checkpoint >= std::max(1, options.checkpoint_every_acks)) {
+        acks_since_checkpoint = 0;
+        Checkpoint checkpoint;
+        checkpoint.object_bytes = spec.object_bytes;
+        checkpoint.packet_bytes = spec.packet_bytes;
+        checkpoint.received_count = static_cast<std::int64_t>(core.received().count());
+        checkpoint.bitmap = core.received().extract_range(
+            0, static_cast<std::size_t>(spec.packet_count()));
+        save_checkpoint(options.checkpoint_path, checkpoint);
+      }
     }
   }
 
   if (core.complete()) {
-    const std::uint64_t token = kCompletionToken;
-    // Best-effort blocking-ish send of 8 bytes.
-    ::send(control.get(), &token, sizeof token, 0);
+    // Deliver the completion token; if the control connection died in
+    // the meantime, reconnect (with backoff) and retry a few times.
+    std::uint8_t token[8];
+    put_u64be(token, kCompletionToken);
+    const auto token_deadline = Clock::now() + std::chrono::seconds(2);
+    bool delivered = control.valid() && send_all(control.get(), token, sizeof token,
+                                                 token_deadline);
+    for (int attempt = 0; !delivered && attempt < 3; ++attempt) {
+      control = connect_control(options.sender_host, options.control_port,
+                                Clock::now() + std::chrono::seconds(1));
+      if (!control.valid()) continue;
+      ++result.reconnects;
+      metrics.counter("fobs.fault.reconnects").inc();
+      if (options.tracer != nullptr) {
+        options.tracer->record(telemetry::EventType::kReconnect, -1, result.reconnects);
+      }
+      delivered = send_all(control.get(), token, sizeof token,
+                           Clock::now() + std::chrono::seconds(1));
+    }
     result.completed = true;
+    if (!options.checkpoint_path.empty()) remove_checkpoint(options.checkpoint_path);
   }
   const double elapsed = std::chrono::duration<double>(Clock::now() - start).count();
   result.elapsed_seconds = elapsed;
@@ -353,6 +679,7 @@ ReceiverResult receive_object(const ReceiverOptions& options, std::span<std::uin
   result.duplicates = core.stats().duplicates;
   if (result.completed) result.goodput_mbps = mbps(spec.object_bytes, elapsed);
   end_trace(options.tracer, result.completed ? std::string() : result.error);
+  if (faults) metrics.counter("fobs.fault.injected").inc(faults->total_injected());
   metrics.counter("fobs.posix.receiver.packets_received").inc(result.packets_received);
   metrics.counter("fobs.posix.receiver.duplicates").inc(result.duplicates);
   if (result.completed) {

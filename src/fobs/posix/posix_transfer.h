@@ -18,6 +18,7 @@
 
 #include "fobs/receiver_core.h"
 #include "fobs/sender_core.h"
+#include "net/faults.h"
 #include "telemetry/trace.h"
 
 namespace fobs::posix {
@@ -28,10 +29,18 @@ struct SenderOptions {
   std::uint16_t control_port = 0;  ///< sender's TCP listen port (required)
   std::int64_t packet_bytes = 1024;
   fobs::core::SenderConfig core;
-  /// Wall-clock give-up timeout in milliseconds.
+  /// Progress-based give-up: the transfer is abandoned only after
+  /// `stall_intervals` consecutive intervals of `timeout_ms /
+  /// stall_intervals` each with zero protocol progress. A transfer that
+  /// never progresses still dies after ~`timeout_ms`; one that keeps
+  /// moving is never killed by the clock alone.
   int timeout_ms = 60'000;
+  int stall_intervals = 8;
   /// SO_SNDBUF request (0 = system default).
   int send_buffer_bytes = 1 << 20;
+  /// Fault-injection plan (grammar in docs/ROBUSTNESS.md). Empty means
+  /// "use the FOBS_FAULT_PLAN environment variable, if set".
+  std::string fault_plan;
   /// Optional event tracer (must outlive the call). send_object installs
   /// a steady clock (ns since call start) and records transfer_start,
   /// batch, ACK, completion, and timeout/error events on it.
@@ -45,6 +54,11 @@ struct SenderResult {
   std::int64_t packets_needed = 0;
   double waste = 0.0;
   double goodput_mbps = 0.0;
+  /// ACK datagrams that arrived but failed to decode (corrupt/garbage).
+  std::int64_t corrupt_acks_dropped = 0;
+  /// Control-channel connections accepted after the first one (a
+  /// restarted receiver reconnecting).
+  int reconnects = 0;
   std::string error;  ///< empty on success
 };
 
@@ -58,10 +72,23 @@ struct ReceiverOptions {
   std::uint16_t control_port = 0;  ///< sender's TCP port (required)
   std::int64_t packet_bytes = 1024;
   fobs::core::ReceiverConfig core;
+  /// Progress-based give-up; see SenderOptions::timeout_ms.
   int timeout_ms = 60'000;
+  int stall_intervals = 8;
   /// SO_RCVBUF request (0 = system default). This is the buffer whose
   /// overflow during ACK construction the paper's Figure 1 studies.
   int recv_buffer_bytes = 1 << 20;
+  /// Fault-injection plan; see SenderOptions::fault_plan.
+  std::string fault_plan;
+  /// When non-empty, the receiver's bitmap is persisted here every
+  /// `checkpoint_every_acks` acknowledgements, an existing compatible
+  /// checkpoint is loaded on start (the caller must supply the same
+  /// partially-filled buffer the previous incarnation wrote into), and
+  /// the file is removed after a completed transfer. A restarted
+  /// receiver announces its restored bitmap to the sender over the
+  /// control channel so already-received packets are not re-sent.
+  std::string checkpoint_path;
+  int checkpoint_every_acks = 16;
   /// Optional event tracer, as in SenderOptions.
   fobs::telemetry::EventTracer* tracer = nullptr;
 };
@@ -72,6 +99,12 @@ struct ReceiverResult {
   std::int64_t packets_received = 0;
   std::int64_t duplicates = 0;
   double goodput_mbps = 0.0;
+  /// Data packets rejected because their payload CRC32 failed.
+  std::int64_t corrupt_packets_dropped = 0;
+  /// Packets pre-seeded from a checkpoint instead of the network.
+  std::int64_t packets_restored = 0;
+  /// Control-channel reconnects performed after losing the connection.
+  int reconnects = 0;
   std::string error;
 };
 

@@ -25,9 +25,10 @@ struct ReceiverConfig {
 
 struct ReceiverStats {
   std::int64_t packets_seen = 0;      ///< all arrivals, incl. duplicates
-  std::int64_t packets_received = 0;  ///< unique
+  std::int64_t packets_received = 0;  ///< unique, this run only
   std::int64_t duplicates = 0;
   std::int64_t acks_built = 0;
+  std::int64_t restored = 0;          ///< packets pre-seeded from a checkpoint
 };
 
 class ReceiverCore {
@@ -48,6 +49,20 @@ class ReceiverCore {
 
   /// Builds the next acknowledgement (resets the ack-frequency counter).
   AckMessage make_ack();
+
+  /// Pre-seeds the received bitmap from a checkpoint (`packed` in
+  /// Bitmap::extract_range format, `nbits` packets from seq 0); call
+  /// before any packets arrive. Recomputes the frontier and records a
+  /// `resume` trace event. Returns the number of packets restored, or
+  /// -1 when `nbits` does not match this transfer's packet count.
+  std::int64_t restore(const std::uint8_t* packed, std::size_t packed_len,
+                       std::int64_t nbits);
+
+  /// Progress-based stall detection: the driver calls this once per
+  /// stall interval. An interval with zero newly-received packets on a
+  /// still-incomplete object is "empty" and traced as a `stall` event;
+  /// returns the streak of consecutive empty intervals (0 on progress).
+  int on_stall_interval();
 
   /// Attaches a per-transfer event tracer (nullptr = telemetry off, the
   /// default; must outlive the core). Records packet placement,
@@ -70,6 +85,9 @@ class ReceiverCore {
   AckBuilder ack_builder_;
   PacketSeq frontier_ = 0;
   std::int64_t new_since_ack_ = 0;
+  // Stall-detection bookkeeping.
+  std::int64_t progress_at_last_interval_ = 0;
+  int empty_intervals_ = 0;
   ReceiverStats stats_;
   telemetry::EventTracer* tracer_ = nullptr;
 };

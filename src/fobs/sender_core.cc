@@ -55,6 +55,49 @@ std::int64_t SenderCore::on_ack(const AckMessage& ack) {
   return newly;
 }
 
+std::int64_t SenderCore::on_resume(const std::uint8_t* packed, std::size_t packed_len,
+                                   std::int64_t nbits) {
+  if (nbits != spec_.packet_count() || nbits < 0) return -1;
+  const std::int64_t newly = static_cast<std::int64_t>(
+      acked_view_.merge_range(0, static_cast<std::size_t>(nbits), packed, packed_len));
+  stats_.packets_acked += newly;
+  if (tracer_ != nullptr) {
+    tracer_->record(telemetry::EventType::kResume, -1, newly);
+  }
+  return newly;
+}
+
+void SenderCore::on_peer_restart() {
+  acked_view_.clear_all();
+  stats_.packets_acked = 0;
+  // The replacement receiver numbers its ACKs from 1 again and reports
+  // totals for its own incarnation only.
+  last_ack_no_ = 0;
+  last_total_received_ = 0;
+  sent_at_last_ack_ = stats_.packets_sent;
+  received_at_last_ack_ = 0;
+  // A reconnect is progress; restart the stall budget from a zero view.
+  progress_at_last_interval_ = 0;
+  empty_intervals_ = 0;
+}
+
+int SenderCore::on_stall_interval() {
+  // Progress = unique packets known received, plus the completion
+  // signal itself (a completing-but-quiet interval is not a stall).
+  const std::int64_t progress = static_cast<std::int64_t>(acked_view_.count()) +
+                                (completion_received_ ? 1 : 0);
+  if (progress > progress_at_last_interval_) {
+    progress_at_last_interval_ = progress;
+    empty_intervals_ = 0;
+    return 0;
+  }
+  ++empty_intervals_;
+  if (tracer_ != nullptr) {
+    tracer_->record(telemetry::EventType::kStall, -1, empty_intervals_);
+  }
+  return empty_intervals_;
+}
+
 void SenderCore::update_adaptive_batch(const AckMessage& ack) {
   if (ack.ack_no <= last_ack_no_) return;  // stale/reordered ack
   if (last_ack_no_ != 0) {

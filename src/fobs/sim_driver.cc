@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/log.h"
+#include "telemetry/metrics.h"
 
 namespace fobs::core {
 
@@ -48,7 +49,17 @@ void SimSender::start() {
 }
 
 void SimSender::on_control_message(const std::any& message) {
-  if (std::any_cast<CompletionSignal>(&message) == nullptr) return;
+  const auto* signal = std::any_cast<CompletionSignal>(&message);
+  if (signal == nullptr) return;
+  if (signal->corrupted) {
+    // A completion frame whose (modelled) checksum fails: discard it and
+    // keep the transfer alive rather than trusting a garbled "done".
+    telemetry::MetricsRegistry::global().counter("fobs.fault.corrupt_drops").inc();
+    if (auto* tracer = core_.tracer()) {
+      tracer->record(telemetry::EventType::kCorruptDrop, -1, 1);
+    }
+    return;
+  }
   core_.on_completion_signal();
   if (!finished_) {
     finished_ = true;
@@ -69,7 +80,15 @@ void SimSender::step() {
     const auto* payload = std::any_cast<AckPacketPayload>(&pkt->payload);
     if (payload != nullptr && payload->ack != nullptr) {
       busy += host_.cpu().recv_cost(fobs::util::DataSize::bytes(payload->ack->wire_bytes()));
-      core_.on_ack(*payload->ack);
+      if (payload->corrupted) {
+        ++corrupt_acks_dropped_;
+        telemetry::MetricsRegistry::global().counter("fobs.fault.corrupt_drops").inc();
+        if (auto* tracer = core_.tracer()) {
+          tracer->record(telemetry::EventType::kCorruptDrop, -1, corrupt_acks_dropped_);
+        }
+      } else {
+        core_.on_ack(*payload->ack);
+      }
     }
   }
 
@@ -113,11 +132,25 @@ void SimSender::step() {
     payload.seq = *seq;
     payload.len = static_cast<std::int32_t>(len);
     payload.data = data_ != nullptr ? data_ + spec_.offset_of(*seq) : nullptr;
-    const bool ok =
-        data_out_.send_to(receiver_node_, static_cast<PortId>(port_base_ + kDataPortOffset),
-                          len + kDataHeaderBytes, payload);
-    assert(ok);
-    (void)ok;
+    // The injector models in-flight damage: a dropped packet is sent by
+    // the core's accounting but never reaches the wire, a corrupted one
+    // arrives with a failing checksum, a duplicated one arrives twice.
+    int copies = 1;
+    if (faults_ != nullptr) {
+      switch (faults_->next(fobs::net::FaultChannel::kData)) {
+        case fobs::net::FaultAction::kDrop: copies = 0; break;
+        case fobs::net::FaultAction::kCorrupt: payload.corrupted = true; break;
+        case fobs::net::FaultAction::kDuplicate: copies = 2; break;
+        case fobs::net::FaultAction::kPass: break;
+      }
+    }
+    for (int copy = 0; copy < copies; ++copy) {
+      const bool ok =
+          data_out_.send_to(receiver_node_, static_cast<PortId>(port_base_ + kDataPortOffset),
+                            len + kDataHeaderBytes, payload);
+      assert(ok);
+      (void)ok;
+    }
     ++sent_in_batch;
     busy += host_.cpu().send_cost(fobs::util::DataSize::bytes(len + kDataHeaderBytes));
   }
@@ -211,7 +244,13 @@ void SimSender::pump_tcp() {
   // Fold in any FOBS acknowledgements that arrived meanwhile.
   while (auto pkt = ack_in_.try_recv()) {
     if (const auto* ack = std::any_cast<AckPacketPayload>(&pkt->payload)) {
-      if (ack->ack != nullptr) core_.on_ack(*ack->ack);
+      if (ack->ack == nullptr) continue;
+      if (ack->corrupted) {
+        ++corrupt_acks_dropped_;
+        telemetry::MetricsRegistry::global().counter("fobs.fault.corrupt_drops").inc();
+        continue;
+      }
+      core_.on_ack(*ack->ack);
     }
   }
   host_.network().sim().schedule_in(Duration::milliseconds(2), [this] { pump_tcp(); });
@@ -275,6 +314,24 @@ Duration SimReceiver::process_packet(const DataPacketPayload& payload) {
   auto& sim = host_.network().sim();
   Duration busy =
       host_.cpu().recv_cost(fobs::util::DataSize::bytes(payload.len + kDataHeaderBytes));
+  if (crashed_) return busy;
+  if (faults_ != nullptr && faults_->crash_due()) {
+    // Peer-crash point reached: this incarnation goes silent without
+    // cleanup (no ACKs, no completion), exactly like a killed process.
+    crashed_ = true;
+    FOBS_INFO("fobs.receiver", "fault plan crash point reached; going silent");
+    return busy;
+  }
+  if (payload.corrupted) {
+    // Checksum-failing packet: reject before it can touch the object
+    // buffer, count it, and rely on retransmission for the real bytes.
+    ++corrupt_data_dropped_;
+    telemetry::MetricsRegistry::global().counter("fobs.fault.corrupt_drops").inc();
+    if (auto* tracer = core_.tracer()) {
+      tracer->record(telemetry::EventType::kCorruptDrop, payload.seq, corrupt_data_dropped_);
+    }
+    return busy;
+  }
   const auto result = core_.on_data_packet(payload.seq);
   if (result.newly_received && buffer_ != nullptr && payload.data != nullptr) {
     std::memcpy(buffer_ + spec_.offset_of(payload.seq), payload.data,
@@ -286,8 +343,24 @@ Duration SimReceiver::process_packet(const DataPacketPayload& payload) {
     busy += host_.cpu().ack_build;
     auto ack = std::make_shared<const AckMessage>(core_.make_ack());
     const std::int64_t bytes = ack->wire_bytes();
-    if (ack_out_.send_to(sender_node_, static_cast<PortId>(port_base_ + kAckPortOffset),
-                         bytes, AckPacketPayload{std::move(ack)})) {
+    AckPacketPayload ack_payload{std::move(ack)};
+    int copies = 1;
+    if (faults_ != nullptr) {
+      switch (faults_->next(fobs::net::FaultChannel::kAck)) {
+        case fobs::net::FaultAction::kDrop: copies = 0; break;
+        case fobs::net::FaultAction::kCorrupt: ack_payload.corrupted = true; break;
+        case fobs::net::FaultAction::kDuplicate: copies = 2; break;
+        case fobs::net::FaultAction::kPass: break;
+      }
+    }
+    bool wire_ok = copies == 0;  // an injector-eaten ACK still "sent" fine
+    for (int copy = 0; copy < copies; ++copy) {
+      if (ack_out_.send_to(sender_node_, static_cast<PortId>(port_base_ + kAckPortOffset),
+                           bytes, ack_payload)) {
+        wire_ok = true;
+      }
+    }
+    if (wire_ok) {
       ++acks_sent_;
       busy += host_.cpu().send_cost(fobs::util::DataSize::bytes(bytes));
       if (auto* tracer = core_.tracer()) {
@@ -308,8 +381,16 @@ Duration SimReceiver::process_packet(const DataPacketPayload& payload) {
   }
   if (result.just_completed) {
     completed_at_ = sim.now();
-    control_conn_.send_message(kCompletionSignalBytes,
-                               CompletionSignal{core_.stats().packets_received});
+    CompletionSignal signal{core_.stats().packets_received};
+    bool deliver = true;
+    if (faults_ != nullptr) {
+      switch (faults_->next(fobs::net::FaultChannel::kControl)) {
+        case fobs::net::FaultAction::kDrop: deliver = false; break;
+        case fobs::net::FaultAction::kCorrupt: signal.corrupted = true; break;
+        default: break;
+      }
+    }
+    if (deliver) control_conn_.send_message(kCompletionSignalBytes, signal);
     FOBS_DEBUG("fobs.receiver", "object complete at " << completed_at_.seconds() << "s");
   }
   return busy;
@@ -326,6 +407,7 @@ void SimReceiver::on_tcp_data(const std::any& message) {
 }
 
 void SimReceiver::step() {
+  if (crashed_) return;  // a crashed incarnation never polls again
   auto& sim = host_.network().sim();
   auto pkt = data_in_.try_recv();
   if (!pkt) {

@@ -23,6 +23,7 @@
 #include "fobs/sender_core.h"
 #include "fobs/wire.h"
 #include "host/host.h"
+#include "net/faults.h"
 #include "net/tcp.h"
 #include "net/udp.h"
 
@@ -61,6 +62,17 @@ class SimSender {
   /// `start()` installs the sim clock on it and records transfer_start;
   /// the driver adds batch/fallback events on top of the core's.
   void set_tracer(telemetry::EventTracer* tracer) { core_.set_tracer(tracer); }
+
+  /// Attaches a fault injector (must outlive the driver; may be shared
+  /// with the receiver). The sender consults the data-channel schedule
+  /// before every datagram send and rejects checksum-failing ACKs.
+  void set_fault_injector(fobs::net::FaultInjector* faults) { faults_ = faults; }
+
+  /// Progress check for stall detection; forwards to the core.
+  int on_stall_interval() { return core_.on_stall_interval(); }
+
+  /// ACKs rejected because their (modelled) checksum failed.
+  [[nodiscard]] std::int64_t corrupt_acks_dropped() const { return corrupt_acks_dropped_; }
 
   [[nodiscard]] const SenderCore& core() const { return core_; }
   [[nodiscard]] bool finished() const { return finished_; }
@@ -101,6 +113,8 @@ class SimSender {
   TimePoint finished_at_;
   std::function<void()> on_finished_;
   // --- §7 TCP-fallback state ---
+  fobs::net::FaultInjector* faults_ = nullptr;
+  std::int64_t corrupt_acks_dropped_ = 0;
   Mode mode_ = Mode::kUdp;
   std::unique_ptr<fobs::net::TcpConnection> tcp_data_;
   PacketSeq tcp_cursor_ = 0;
@@ -129,6 +143,20 @@ class SimReceiver {
   /// and drop_while_acking events on top of the core's.
   void set_tracer(telemetry::EventTracer* tracer) { core_.set_tracer(tracer); }
 
+  /// Attaches a fault injector (must outlive the driver; may be shared
+  /// with the sender). The receiver rejects corrupted data packets,
+  /// applies the ACK/control schedules to its outgoing messages, and
+  /// crashes (goes silent) at the plan's crash point.
+  void set_fault_injector(fobs::net::FaultInjector* faults) { faults_ = faults; }
+
+  /// Progress check for stall detection; forwards to the core.
+  int on_stall_interval() { return core_.on_stall_interval(); }
+
+  /// Data packets rejected because their (modelled) checksum failed.
+  [[nodiscard]] std::int64_t corrupt_data_dropped() const { return corrupt_data_dropped_; }
+  /// True once the fault plan's crash point has fired.
+  [[nodiscard]] bool crashed() const { return crashed_; }
+
   [[nodiscard]] const ReceiverCore& core() const { return core_; }
   [[nodiscard]] bool complete() const { return core_.complete(); }
   [[nodiscard]] TimePoint completed_at() const { return completed_at_; }
@@ -155,6 +183,9 @@ class SimReceiver {
   fobs::net::TcpConnection control_conn_;
   fobs::net::TcpListener fallback_listener_;
   std::unique_ptr<fobs::net::TcpConnection> fallback_conn_;
+  fobs::net::FaultInjector* faults_ = nullptr;
+  std::int64_t corrupt_data_dropped_ = 0;
+  bool crashed_ = false;
   bool started_ = false;
   TimePoint completed_at_;
   std::uint64_t acks_sent_ = 0;

@@ -1,6 +1,8 @@
 #include "fobs/sim_transfer.h"
 
+#include <algorithm>
 #include <cstring>
+#include <optional>
 
 #include "common/rng.h"
 
@@ -44,13 +46,49 @@ SimTransferResult run_sim_transfer(fobs::sim::Network& network, fobs::host::Host
   if (config.sender_tracer != nullptr) sender.set_tracer(config.sender_tracer);
   if (config.receiver_tracer != nullptr) receiver.set_tracer(config.receiver_tracer);
 
+  // One injector shared by both drivers, so a single plan describes the
+  // whole path: the sender applies the data schedule, the receiver the
+  // ACK/control schedules and the crash point.
+  std::optional<fobs::net::FaultInjector> faults;
+  if (!config.fault_plan.empty()) {
+    faults.emplace(config.fault_plan);
+    sender.set_fault_injector(&*faults);
+    receiver.set_fault_injector(&*faults);
+  }
+
   bool done = false;
   sender.set_on_finished([&done] { done = true; });
 
   receiver.start();
   sender.start();
 
-  while (!done && sim.now() < deadline && sim.step()) {
+  // Stall detection: progress checks run inline between event steps (no
+  // extra sim events, so clean-run schedules — and the golden packet
+  // counts — are untouched). A transfer dies only after
+  // `stall_intervals` consecutive empty checks on the sender alongside
+  // an empty-or-complete receiver; the flat deadline stays as backstop.
+  const int stall_limit = std::max(1, config.stall_intervals);
+  const Duration stall_interval = config.timeout / stall_limit;
+  TimePoint next_check = start + stall_interval;
+  bool stalled = false;
+  int sender_streak = 0;
+  int receiver_streak = 0;
+  while (!done) {
+    // Run stall checks due at or before now first: the final check of a
+    // zero-progress run lands exactly on the deadline and must fire
+    // before the flat backstop below declares a plain timeout.
+    while (next_check <= sim.now()) {
+      sender_streak = sender.on_stall_interval();
+      receiver_streak = receiver.on_stall_interval();
+      next_check = next_check + stall_interval;
+    }
+    if (sender_streak >= stall_limit &&
+        (receiver_streak >= stall_limit || receiver.complete())) {
+      stalled = true;
+      break;
+    }
+    if (sim.now() >= deadline) break;
+    if (!sim.step()) break;
   }
 
   if (!sender.finished()) {
@@ -70,6 +108,8 @@ SimTransferResult run_sim_transfer(fobs::sim::Network& network, fobs::host::Host
   result.receiver_socket_drops = receiver.socket_drops();
   result.acks_sent = receiver.acks_sent();
   result.duplicates_at_receiver = receiver.core().stats().duplicates;
+  result.corrupt_drops = sender.corrupt_acks_dropped() + receiver.corrupt_data_dropped();
+  result.stalled = stalled;
   if (receiver.complete()) {
     result.receiver_elapsed = receiver.completed_at() - start;
     if (result.receiver_elapsed > Duration::zero()) {

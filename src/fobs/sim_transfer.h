@@ -10,6 +10,7 @@
 
 #include "fobs/sim_driver.h"
 #include "host/host.h"
+#include "net/faults.h"
 #include "sim/node.h"
 
 namespace fobs::core {
@@ -29,6 +30,15 @@ struct SimTransferConfig {
   /// the same tracer for one merged timeline). Null = telemetry off.
   fobs::telemetry::EventTracer* sender_tracer = nullptr;
   fobs::telemetry::EventTracer* receiver_tracer = nullptr;
+  /// Fault schedule applied to this transfer (empty = clean run; the
+  /// golden regressions rely on an empty plan changing nothing).
+  fobs::net::FaultPlan fault_plan;
+  /// Stall detection: the run gives up once this many consecutive
+  /// progress checks pass with zero new packets on both sides. The
+  /// check interval is timeout / stall_intervals, so a transfer that
+  /// never progresses still dies at ~`timeout`, but one that keeps
+  /// moving is never killed by the flat deadline alone.
+  int stall_intervals = 8;
 };
 
 struct SimTransferResult {
@@ -45,6 +55,12 @@ struct SimTransferResult {
   std::uint64_t receiver_socket_drops = 0;
   std::uint64_t acks_sent = 0;
   std::int64_t duplicates_at_receiver = 0;
+  /// Checksum-failing packets rejected (data at receiver + ACKs at
+  /// sender); non-zero only when a fault plan injects corruption.
+  std::int64_t corrupt_drops = 0;
+  /// True when the run was terminated by stall detection (no progress
+  /// for `stall_intervals` consecutive checks) rather than completing.
+  bool stalled = false;
   bool data_verified = false;  ///< true when carry_data and bytes match
 
   /// Fraction of `max` achieved by goodput.

@@ -11,21 +11,29 @@ namespace fobs::core {
 
 /// One FOBS data packet. `data` points into the sender's object buffer
 /// (which outlives the simulation); a null pointer means a size-only run
-/// with no payload verification.
+/// with no payload verification. `corrupted` models a payload whose
+/// CRC32 check fails at the receiver (the fault injector sets it; the
+/// real-socket codec carries an actual checksum) — the receiver must
+/// reject the packet instead of writing it into the object.
 struct DataPacketPayload {
   PacketSeq seq = 0;
   std::int32_t len = 0;
   const std::uint8_t* data = nullptr;
+  bool corrupted = false;
 };
 
 /// One acknowledgement. Shared pointer keeps per-hop packet copies cheap.
+/// `corrupted` models a checksum-failing ACK the sender must ignore.
 struct AckPacketPayload {
   std::shared_ptr<const AckMessage> ack;
+  bool corrupted = false;
 };
 
 /// "All data received", sent once over the TCP control connection.
+/// `corrupted` models an unparseable completion frame.
 struct CompletionSignal {
   std::int64_t total_packets = 0;
+  bool corrupted = false;
 };
 
 /// Wire size of a completion signal message on the TCP stream.

@@ -27,6 +27,14 @@ const char* to_string(EventType type) {
       return "fallback_enter";
     case EventType::kFallbackExit:
       return "fallback_exit";
+    case EventType::kCorruptDrop:
+      return "corrupt_drop";
+    case EventType::kReconnect:
+      return "reconnect";
+    case EventType::kStall:
+      return "stall";
+    case EventType::kResume:
+      return "resume";
     case EventType::kCompletion:
       return "completion";
     case EventType::kTimeout:

@@ -39,11 +39,15 @@ enum class EventType : std::uint8_t {
   kDropWhileAcking,    ///< socket-buffer drops while receiver was busy
   kFallbackEnter,      ///< §7 sender switched to the TCP channel
   kFallbackExit,       ///< sender resumed greedy UDP
+  kCorruptDrop,        ///< packet rejected by checksum/corruption check
+  kReconnect,          ///< control-TCP connection re-established
+  kStall,              ///< progress check found an empty interval; value = streak
+  kResume,             ///< resume state applied; value = packets restored
   kCompletion,         ///< endpoint learned the transfer is complete
-  kTimeout,            ///< driver gave up at its deadline
+  kTimeout,            ///< driver gave up (stall budget or deadline)
   kError,              ///< driver hit a non-timeout failure
 };
-inline constexpr std::size_t kEventTypeCount = 13;
+inline constexpr std::size_t kEventTypeCount = 17;
 
 [[nodiscard]] const char* to_string(EventType type);
 

@@ -1,0 +1,131 @@
+// Fault-injection over the simulated testbeds: corruption and ACK
+// blackholes must not damage delivered bytes, and a transfer that stops
+// progressing must give up via stall detection (stall events, then a
+// timeout), not just a wall-clock deadline.
+#include <gtest/gtest.h>
+
+#include "exp/testbeds.h"
+#include "fobs/sim_transfer.h"
+#include "net/faults.h"
+#include "telemetry/trace.h"
+
+namespace fobs {
+namespace {
+
+using core::SimTransferConfig;
+using core::run_sim_transfer;
+using exp::PathId;
+using exp::Testbed;
+using telemetry::EventType;
+
+SimTransferConfig small_transfer(std::int64_t kilobytes = 1024) {
+  SimTransferConfig config;
+  config.spec.object_bytes = kilobytes * 1024;
+  config.spec.packet_bytes = 1024;
+  config.receiver.ack_frequency = 64;
+  return config;
+}
+
+net::FaultPlan plan_of(const std::string& spec) {
+  std::string error;
+  const auto plan = net::FaultPlan::parse(spec, &error);
+  EXPECT_TRUE(plan.has_value()) << error;
+  return plan.value_or(net::FaultPlan{});
+}
+
+TEST(FaultSim, CorruptionAndAckBlackholeStillDeliverCleanBytes) {
+  // 1% of data packets arrive with a failing checksum and the first few
+  // ACKs (about one RTT window of acking) are blackholed. The transfer
+  // must still complete, with every rejected packet re-sent and zero
+  // corrupted bytes written into the object.
+  Testbed bed(PathId::kShortHaul);
+  auto config = small_transfer();
+  config.fault_plan = plan_of("seed=42;data.corrupt=0.01;ack.blackhole=0+4");
+  const auto result = run_sim_transfer(bed.network(), bed.src(), bed.dst(), config);
+  ASSERT_TRUE(result.completed);
+  EXPECT_TRUE(result.data_verified);  // byte-exact despite the damage
+  EXPECT_GT(result.corrupt_drops, 0);
+  // Every corrupted packet forced at least one retransmission.
+  EXPECT_GT(result.packets_sent, result.packets_needed);
+  EXPECT_FALSE(result.stalled);
+}
+
+TEST(FaultSim, CorruptDropsAreDeterministicPerSeed) {
+  auto run_once = [] {
+    Testbed bed(PathId::kShortHaul);
+    auto config = small_transfer(256);
+    config.fault_plan = plan_of("seed=7;data.corrupt=0.02");
+    return run_sim_transfer(bed.network(), bed.src(), bed.dst(), config);
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  ASSERT_TRUE(first.completed);
+  ASSERT_TRUE(second.completed);
+  EXPECT_EQ(first.corrupt_drops, second.corrupt_drops);
+  EXPECT_EQ(first.packets_sent, second.packets_sent);
+}
+
+TEST(FaultSim, BlackholedTransferGivesUpViaStallDetection) {
+  // Every data packet vanishes: neither side ever progresses. The run
+  // must end through the stall budget — `stall_intervals` empty checks
+  // on each side — with both traces ending stall -> timeout.
+  Testbed bed(PathId::kShortHaul);
+  telemetry::EventTracer sender_trace;
+  telemetry::EventTracer receiver_trace;
+  auto config = small_transfer(64);
+  config.fault_plan = plan_of("data.blackhole=0+100000000");
+  config.timeout = util::Duration::milliseconds(400);
+  config.stall_intervals = 4;
+  config.sender_tracer = &sender_trace;
+  config.receiver_tracer = &receiver_trace;
+  const auto result = run_sim_transfer(bed.network(), bed.src(), bed.dst(), config);
+  EXPECT_FALSE(result.completed);
+  EXPECT_TRUE(result.stalled);
+  // The give-up is interval-counted, not wall-clock: exactly the stall
+  // budget of empty checks fired on each side.
+  EXPECT_EQ(sender_trace.count(EventType::kStall), config.stall_intervals);
+  EXPECT_EQ(receiver_trace.count(EventType::kStall), config.stall_intervals);
+  for (const auto* trace : {&sender_trace, &receiver_trace}) {
+    const auto events = trace->snapshot();
+    ASSERT_GE(events.size(), 2u);
+    EXPECT_EQ(events[events.size() - 2].type, EventType::kStall);
+    EXPECT_EQ(events.back().type, EventType::kTimeout);
+  }
+}
+
+TEST(FaultSim, ReceiverCrashStallsTheSender) {
+  // The receiver dies partway through (peer-crash-at-packet-N); the
+  // sender keeps retransmitting into silence and must eventually give
+  // up through stall detection rather than hanging forever.
+  Testbed bed(PathId::kShortHaul);
+  auto config = small_transfer(64);
+  config.fault_plan = plan_of("crash=16");
+  config.timeout = util::Duration::milliseconds(400);
+  config.stall_intervals = 4;
+  const auto result = run_sim_transfer(bed.network(), bed.src(), bed.dst(), config);
+  EXPECT_FALSE(result.completed);
+  EXPECT_TRUE(result.stalled);
+  EXPECT_FALSE(result.data_verified);
+}
+
+TEST(FaultSim, EmptyPlanMatchesCleanRunExactly) {
+  // A default-constructed plan must be a true no-op: same packet counts
+  // as a run with no plan at all (the golden regressions depend on it).
+  auto run_with = [](bool with_plan) {
+    Testbed bed(PathId::kShortHaul);
+    auto config = small_transfer(256);
+    if (with_plan) config.fault_plan = net::FaultPlan{};
+    return run_sim_transfer(bed.network(), bed.src(), bed.dst(), config);
+  };
+  const auto clean = run_with(false);
+  const auto with_empty_plan = run_with(true);
+  ASSERT_TRUE(clean.completed);
+  ASSERT_TRUE(with_empty_plan.completed);
+  EXPECT_EQ(clean.packets_sent, with_empty_plan.packets_sent);
+  EXPECT_EQ(clean.acks_sent, with_empty_plan.acks_sent);
+  EXPECT_EQ(clean.corrupt_drops, 0);
+  EXPECT_EQ(with_empty_plan.corrupt_drops, 0);
+}
+
+}  // namespace
+}  // namespace fobs
