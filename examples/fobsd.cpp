@@ -14,6 +14,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -153,49 +154,77 @@ int run_fetch(const std::string& host, std::uint16_t port, const std::string& na
     return 1;
   }
 
-  // Crash resilience: the bitmap sidecar lives next to the output file,
-  // and an interrupted fetch leaves the partial bytes in <out>.part so a
-  // rerun of the same command resumes instead of starting over.
+  // Crash resilience: the receive buffer IS the <out>.part file — a
+  // writable shared mapping, so every validated packet lands in the
+  // page cache the moment it is written and the bitmap sidecar can
+  // never record packets whose bytes a hard crash (kill -9, OOM) threw
+  // away. The bitmap may lag the data, which only costs resends.
   const std::string partial_path = out_path + ".part";
-  std::vector<std::uint8_t> buffer(static_cast<std::size_t>(size));
-  if (auto partial = fobs::core::TransferObject::map_file(partial_path);
-      partial && partial->size() == static_cast<std::int64_t>(buffer.size())) {
-    const auto view = partial->view();
-    buffer.assign(view.begin(), view.end());
+  const std::string checkpoint_path = out_path + ".ckpt";
+  struct stat part_stat{};
+  const bool resuming = ::stat(partial_path.c_str(), &part_stat) == 0 &&
+                        part_stat.st_size == static_cast<off_t>(size);
+  if (!resuming) {
+    // No matching partial bytes: a leftover checkpoint describes data we
+    // do not have, and restoring it would leave silent zero-filled holes
+    // in the fetched file.
+    std::remove(checkpoint_path.c_str());
+  } else {
     std::printf("fobsd: found partial fetch %s, attempting resume\n", partial_path.c_str());
   }
+  auto partial = fobs::core::TransferObject::map_file_rw(partial_path,
+                                                         static_cast<std::int64_t>(size));
   fobs::telemetry::EventTracer trace;
   fobs::posix::ReceiverOptions opts;
   opts.sender_host = host;
   opts.data_port = data_port;
   opts.control_port = static_cast<std::uint16_t>(control_port);
-  opts.checkpoint_path = out_path + ".ckpt";
   opts.tracer = &trace;
-  const auto result = fobs::posix::receive_object(opts, std::span<std::uint8_t>(buffer));
+  std::vector<std::uint8_t> fallback;
+  std::span<std::uint8_t> buffer;
+  if (partial) {
+    // Checkpointing is only safe with the file-backed buffer.
+    opts.checkpoint_path = checkpoint_path;
+    buffer = partial->mutable_view();
+  } else {
+    std::printf("fobsd: cannot map %s; fetching without resume support\n",
+                partial_path.c_str());
+    std::remove(checkpoint_path.c_str());
+    fallback.resize(static_cast<std::size_t>(size));
+    buffer = fallback;
+  }
+  const auto result = fobs::posix::receive_object(opts, buffer);
   maybe_dump_trace(trace, "fobsd_fetch");
   if (result.packets_restored > 0) {
     std::printf("fobsd: resumed from checkpoint (%lld packets already on disk)\n",
                 static_cast<long long>(result.packets_restored));
   }
+  if (partial) partial->sync();
   if (!result.completed) {
     std::printf("fobsd: fetch failed: %s\n", result.error.c_str());
-    // Keep the bytes received so far; the checkpoint sidecar already
-    // records which packets they are.
-    auto partial = fobs::core::TransferObject::from_vector(std::move(buffer));
-    if (partial.write_to_file(partial_path)) {
+    if (partial) {
       std::printf("fobsd: kept partial bytes in %s for resume\n", partial_path.c_str());
     }
     return 1;
   }
-  auto object = fobs::core::TransferObject::from_vector(std::move(buffer));
-  if (!object.write_to_file(out_path)) {
-    std::printf("fobsd: cannot write %s\n", out_path.c_str());
-    return 1;
+  std::uint64_t checksum = 0;
+  if (partial) {
+    checksum = partial->checksum();
+    partial.reset();  // unmap before renaming into place
+    if (std::rename(partial_path.c_str(), out_path.c_str()) != 0) {
+      std::printf("fobsd: cannot move %s to %s\n", partial_path.c_str(), out_path.c_str());
+      return 1;
+    }
+  } else {
+    auto object = fobs::core::TransferObject::from_vector(std::move(fallback));
+    if (!object.write_to_file(out_path)) {
+      std::printf("fobsd: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    checksum = object.checksum();
   }
-  std::remove(partial_path.c_str());
   std::printf("fobsd: fetched %s (%lld bytes, %.0f Mb/s, checksum %016llx)\n", name.c_str(),
-              size, result.goodput_mbps,
-              static_cast<unsigned long long>(object.checksum()));
+              size, result.goodput_mbps, static_cast<unsigned long long>(checksum));
   return 0;
 }
 

@@ -20,6 +20,11 @@ namespace fobs::core {
 
 struct AckMessage {
   std::uint64_t ack_no = 0;  ///< monotonically increasing per receiver
+  /// Receiver-incarnation id (0 = unversioned). A restarted receiver
+  /// picks a fresh epoch and announces it on the control channel, so
+  /// the sender can discard ACKs still in flight from the previous
+  /// incarnation instead of applying them to its reset view.
+  std::uint32_t epoch = 0;
   /// Total packets received so far (sender uses deltas for rate feedback).
   std::int64_t total_received = 0;
   /// All packets with seq < frontier have been received.

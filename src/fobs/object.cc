@@ -22,6 +22,7 @@ void TransferObject::reset() {
   data_ = nullptr;
   size_ = 0;
   mapped_ = false;
+  writable_ = false;
   owned_.clear();
 }
 
@@ -33,11 +34,13 @@ TransferObject& TransferObject::operator=(TransferObject&& other) noexcept {
     owned_ = std::move(other.owned_);
     size_ = other.size_;
     mapped_ = other.mapped_;
+    writable_ = other.writable_;
     // For owned objects the pointer must track the moved vector.
     data_ = mapped_ ? other.data_ : owned_.data();
     other.data_ = nullptr;
     other.size_ = 0;
     other.mapped_ = false;
+    other.writable_ = false;
   }
   return *this;
 }
@@ -94,9 +97,37 @@ std::optional<TransferObject> TransferObject::map_file(const std::string& path) 
   return object;
 }
 
+std::optional<TransferObject> TransferObject::map_file_rw(const std::string& path,
+                                                          std::int64_t bytes) {
+  if (bytes <= 0) return std::nullopt;
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return std::nullopt;
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 ||
+      (st.st_size != bytes && ::ftruncate(fd, bytes) != 0)) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  void* addr = ::mmap(nullptr, static_cast<std::size_t>(bytes), PROT_READ | PROT_WRITE,
+                      MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (addr == MAP_FAILED) return std::nullopt;
+  TransferObject object;
+  object.data_ = static_cast<std::uint8_t*>(addr);
+  object.size_ = bytes;
+  object.mapped_ = true;
+  object.writable_ = true;
+  return object;
+}
+
 std::span<std::uint8_t> TransferObject::mutable_view() {
-  assert(!mapped_ && "mapped objects are read-only");
+  assert(is_writable() && "read-only mapped objects cannot be written");
   return {data_, static_cast<std::size_t>(size_)};
+}
+
+bool TransferObject::sync() {
+  if (!mapped_ || !writable_ || data_ == nullptr) return true;
+  return ::msync(data_, static_cast<std::size_t>(size_), MS_SYNC) == 0;
 }
 
 std::uint64_t TransferObject::checksum() const {

@@ -2,9 +2,11 @@
 // fully allocated before the transfer starts (the paper's fundamental
 // assumption — "the user-level data buffer spans the entire object").
 //
-// Backing stores: owned memory (allocated or generated test patterns)
-// and read-only memory-mapped files, so multi-gigabyte files can be
-// sent without loading them through the heap.
+// Backing stores: owned memory (allocated or generated test patterns),
+// read-only memory-mapped files (so multi-gigabyte files can be sent
+// without loading them through the heap), and writable shared mappings
+// (so a receive buffer persists to disk as it fills — the basis for
+// crash-safe resumable fetches).
 #pragma once
 
 #include <cstdint>
@@ -34,13 +36,25 @@ class TransferObject {
   /// Memory-maps `path` read-only; nullopt on failure (missing file,
   /// empty file, mmap error).
   static std::optional<TransferObject> map_file(const std::string& path);
+  /// Creates (or opens) `path`, resizes it to exactly `bytes`, and maps
+  /// it read-write and *shared*: every byte written through
+  /// mutable_view() lands in the file's page cache immediately, so the
+  /// on-disk file tracks the buffer even if the process is killed.
+  /// Existing content within `bytes` is preserved. nullopt on failure.
+  static std::optional<TransferObject> map_file_rw(const std::string& path,
+                                                   std::int64_t bytes);
 
   [[nodiscard]] std::int64_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
   [[nodiscard]] std::span<const std::uint8_t> view() const { return {data_, static_cast<std::size_t>(size_)}; }
-  /// Writable view; invalid for mapped (read-only) objects — asserts.
+  /// Writable view; invalid for read-only mapped objects — asserts.
   [[nodiscard]] std::span<std::uint8_t> mutable_view();
   [[nodiscard]] bool is_mapped() const { return mapped_; }
+  [[nodiscard]] bool is_writable() const { return !mapped_ || writable_; }
+
+  /// Flushes a writable mapping to stable storage (msync). True for
+  /// non-mapped objects (nothing to flush) and on success.
+  bool sync();
 
   /// FNV-1a 64-bit content checksum (integrity spot check).
   [[nodiscard]] std::uint64_t checksum() const;
@@ -53,7 +67,8 @@ class TransferObject {
 
   std::uint8_t* data_ = nullptr;
   std::int64_t size_ = 0;
-  bool mapped_ = false;               ///< via mmap (read-only)
+  bool mapped_ = false;               ///< via mmap
+  bool writable_ = false;             ///< mapped MAP_SHARED read-write
   std::vector<std::uint8_t> owned_;   ///< backing store when not mapped
 };
 

@@ -29,7 +29,7 @@ std::uint64_t get_u64(const std::uint8_t* p) {
   return (static_cast<std::uint64_t>(get_u32(p)) << 32) | get_u32(p + 4);
 }
 
-constexpr std::size_t kAckFixedSize = 4 + 8 + 8 + 8 + 8 + 4 + 4;  // 44 bytes
+constexpr std::size_t kAckFixedSize = 4 + 8 + 8 + 8 + 8 + 4 + 4 + 4;  // 48 bytes
 
 }  // namespace
 
@@ -65,6 +65,7 @@ std::vector<std::uint8_t> encode_ack(const fobs::core::AckMessage& ack) {
   put_u64(out.data() + 24, static_cast<std::uint64_t>(ack.frontier));
   put_u64(out.data() + 32, static_cast<std::uint64_t>(ack.fragment_start));
   put_u32(out.data() + 40, static_cast<std::uint32_t>(ack.fragment_bits));
+  put_u32(out.data() + 44, ack.epoch);
   if (!ack.fragment.empty()) {
     std::memcpy(out.data() + kAckFixedSize, ack.fragment.data(), ack.fragment.size());
   }
@@ -81,6 +82,7 @@ std::optional<fobs::core::AckMessage> decode_ack(const std::uint8_t* data, std::
   ack.frontier = static_cast<fobs::core::PacketSeq>(get_u64(data + 24));
   ack.fragment_start = static_cast<fobs::core::PacketSeq>(get_u64(data + 32));
   ack.fragment_bits = static_cast<std::int32_t>(get_u32(data + 40));
+  ack.epoch = get_u32(data + 44);
   // Reject absurd fragment sizes before touching any allocation path: a
   // legitimate fragment fits in one datagram, so a hostile/corrupt
   // 2^31-ish bit count cannot force a giant allocation here.

@@ -2,10 +2,12 @@
 //
 // Data packet:  20-byte header (magic, type, flags, seq, payload CRC32)
 //               + payload.
-// ACK packet:   fixed header + packed bitmap fragment.
-// Control stream (TCP): 8-byte completion token, and an optional
-//               resume frame (receiver's full bitmap, CRC-sealed) sent
-//               by a restarted receiver so the sender skips packets the
+// ACK packet:   fixed header (including the receiver's incarnation
+//               epoch) + packed bitmap fragment.
+// Control stream (TCP): a hello frame announcing the receiver's epoch,
+//               an 8-byte completion token, and an optional resume
+//               frame (receiver's full bitmap, CRC-sealed) sent by a
+//               restarted receiver so the sender skips packets the
 //               previous incarnation already stored.
 #pragma once
 
@@ -23,6 +25,12 @@ inline constexpr std::uint8_t kTypeData = 1;
 inline constexpr std::uint8_t kTypeAck = 2;
 inline constexpr std::uint64_t kCompletionToken = 0x464F4253444F4E45ull;  // "FOBSDONE"
 inline constexpr std::uint64_t kResumeToken = 0x464F425352534D45ull;      // "FOBSRSME"
+inline constexpr std::uint64_t kHelloToken = 0x464F425348454C4Full;       // "FOBSHELO"
+
+/// Hello frame: token + u64 carrying the receiver's epoch in its low
+/// 32 bits. Sent first on every control connection; the sender applies
+/// only ACKs stamped with the announced epoch from then on.
+inline constexpr std::size_t kHelloFrameSize = 8 + 8;
 
 inline constexpr std::size_t kDataHeaderSize = 20;
 /// Fixed part of a resume frame: token, packet_count, received_count,

@@ -257,6 +257,13 @@ SenderResult send_object(const SenderOptions& options, std::span<const std::uint
   Fd control;
   bool control_ever_connected = false;
   std::vector<std::uint8_t> control_buf;
+  // ACK-stream versioning: once a receiver announces its incarnation
+  // epoch via a hello frame, only ACKs stamped with that epoch are
+  // applied. After a reconnect the expected epoch is cleared, so late
+  // datagrams from the dead incarnation can never re-mark packets the
+  // new receiver does not have (receivers always pick nonzero epochs).
+  std::uint32_t ack_epoch = 0;
+  bool epoch_filtering = false;
   const auto start = Clock::now();
   StallClock stall(start, options.timeout_ms, options.stall_intervals);
   core.set_tracer(options.tracer);
@@ -293,9 +300,12 @@ SenderResult send_object(const SenderOptions& options, std::span<const std::uint
           // Discard ACKs queued by the previous incarnation — applying
           // one after the reset would re-mark packets the new receiver
           // does not have. (An early ACK from the new incarnation can be
-          // discarded too; the next snapshot ACK supersedes it.)
+          // discarded too; the next snapshot ACK supersedes it.) The
+          // drain handles what is already queued; the epoch filter below
+          // handles stale ACKs still in flight after it.
           while (::recv(udp.get(), ack_buf, sizeof ack_buf, MSG_DONTWAIT) > 0) {
           }
+          ack_epoch = 0;  // reject everything until the new hello arrives
         }
         control_ever_connected = true;
       }
@@ -315,6 +325,14 @@ SenderResult send_object(const SenderOptions& options, std::span<const std::uint
         if (token == kCompletionToken) {
           core.on_completion_signal();
           break;
+        }
+        if (token == kHelloToken) {
+          if (control_buf.size() < kHelloFrameSize) break;  // wait for the rest
+          ack_epoch = static_cast<std::uint32_t>(get_u64be(control_buf.data() + 8));
+          epoch_filtering = true;
+          control_buf.erase(control_buf.begin(),
+                            control_buf.begin() + static_cast<std::ptrdiff_t>(kHelloFrameSize));
+          continue;
         }
         if (token != kResumeToken) {
           // Desynced or garbage stream: drop the connection and let the
@@ -342,7 +360,12 @@ SenderResult send_object(const SenderOptions& options, std::span<const std::uint
     const ssize_t ack_len = ::recv(udp.get(), ack_buf, sizeof ack_buf, MSG_DONTWAIT);
     if (ack_len > 0) {
       if (auto ack = decode_ack(ack_buf, static_cast<std::size_t>(ack_len))) {
-        core.on_ack(*ack);
+        if (epoch_filtering && ack->epoch != ack_epoch) {
+          ++result.stale_acks_dropped;
+          metrics.counter("fobs.fault.stale_acks").inc();
+        } else {
+          core.on_ack(*ack);
+        }
       } else {
         ++result.corrupt_acks_dropped;
         metrics.counter("fobs.fault.corrupt_drops").inc();
@@ -516,6 +539,19 @@ ReceiverResult receive_object(const ReceiverOptions& options, std::span<std::uin
     }
   }
 
+  // Incarnation epoch: stamps every ACK and is announced on each
+  // control connection, so the sender can tell this incarnation's ACKs
+  // from stale ones still in flight after a restart. Monotonic time
+  // xor'd with the pid makes a collision across incarnations
+  // vanishingly unlikely; zero is reserved for "no epoch yet".
+  std::uint32_t epoch = static_cast<std::uint32_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count() ^
+      (static_cast<std::uint64_t>(::getpid()) << 16));
+  if (epoch == 0) epoch = 1;
+  std::uint8_t hello[kHelloFrameSize];
+  put_u64be(hello, kHelloToken);
+  put_u64be(hello + 8, epoch);
+
   // Control channel: connect with capped exponential backoff (the
   // sender may not be up yet, or we may be a restarted incarnation).
   Fd control = connect_control(options.sender_host, options.control_port, deadline);
@@ -524,6 +560,9 @@ ReceiverResult receive_object(const ReceiverOptions& options, std::span<std::uin
     end_trace(options.tracer, result.error);
     metrics.counter("fobs.posix.receiver.timeouts").inc();
     return result;
+  }
+  if (!send_all(control.get(), hello, sizeof hello, deadline)) {
+    FOBS_WARN("fobs.receiver", "hello frame send failed; sender keeps its previous epoch");
   }
 
   // Announce a restored bitmap so the sender skips what we already have.
@@ -541,7 +580,10 @@ ReceiverResult receive_object(const ReceiverOptions& options, std::span<std::uin
   sockaddr_in from{};
   socklen_t sender_addr_len = 0;
   sockaddr_in sender_addr{};  // learned from the first *valid* data packet
-  StallClock stall(start, options.timeout_ms, options.stall_intervals);
+  // The stall budget measures the data-transfer phase only: a slow
+  // control connect must not be double-counted as empty stall intervals
+  // the moment data starts flowing.
+  StallClock stall(Clock::now(), options.timeout_ms, options.stall_intervals);
   int acks_since_checkpoint = 0;
 
   while (!core.complete()) {
@@ -613,7 +655,8 @@ ReceiverResult receive_object(const ReceiverOptions& options, std::span<std::uin
                   datagram.data() + kDataHeaderSize, static_cast<std::size_t>(len));
     }
     if (outcome.ack_due && sender_addr_len != 0) {
-      const auto msg = core.make_ack();
+      auto msg = core.make_ack();
+      msg.epoch = epoch;
       auto ack = encode_ack(msg);
       int copies = 1;
       if (faults) {
@@ -667,7 +710,10 @@ ReceiverResult receive_object(const ReceiverOptions& options, std::span<std::uin
       if (options.tracer != nullptr) {
         options.tracer->record(telemetry::EventType::kReconnect, -1, result.reconnects);
       }
-      delivered = send_all(control.get(), token, sizeof token,
+      // Hello first, as on every control connection.
+      delivered = send_all(control.get(), hello, sizeof hello,
+                           Clock::now() + std::chrono::seconds(1)) &&
+                  send_all(control.get(), token, sizeof token,
                            Clock::now() + std::chrono::seconds(1));
     }
     result.completed = true;

@@ -56,6 +56,9 @@ struct SenderResult {
   double goodput_mbps = 0.0;
   /// ACK datagrams that arrived but failed to decode (corrupt/garbage).
   std::int64_t corrupt_acks_dropped = 0;
+  /// Valid ACKs discarded because their epoch did not match the current
+  /// receiver incarnation (late datagrams from before a reconnect).
+  std::int64_t stale_acks_dropped = 0;
   /// Control-channel connections accepted after the first one (a
   /// restarted receiver reconnecting).
   int reconnects = 0;
@@ -83,8 +86,11 @@ struct ReceiverOptions {
   /// When non-empty, the receiver's bitmap is persisted here every
   /// `checkpoint_every_acks` acknowledgements, an existing compatible
   /// checkpoint is loaded on start (the caller must supply the same
-  /// partially-filled buffer the previous incarnation wrote into), and
-  /// the file is removed after a completed transfer. A restarted
+  /// partially-filled buffer the previous incarnation wrote into —
+  /// typically a TransferObject::map_file_rw mapping, which keeps the
+  /// bytes on disk even across a hard crash; restoring a checkpoint
+  /// over a buffer that lacks those bytes silently corrupts the
+  /// object), and the file is removed after a completed transfer. A restarted
   /// receiver announces its restored bitmap to the sender over the
   /// control channel so already-received packets are not re-sent.
   std::string checkpoint_path;

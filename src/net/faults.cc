@@ -1,6 +1,7 @@
 #include "net/faults.h"
 
 #include <charconv>
+#include <locale>
 #include <sstream>
 
 namespace fobs::net {
@@ -29,16 +30,24 @@ bool parse_i64(std::string_view text, std::int64_t& out) {
 }
 
 bool parse_prob(std::string_view text, double& out) {
-  // std::from_chars for double is spotty across stdlibs; stod via a
-  // bounded copy keeps this dependency-free.
-  try {
-    std::size_t used = 0;
-    const std::string copy(text);
-    out = std::stod(copy, &used);
-    return used == copy.size() && out >= 0.0 && out <= 1.0;
-  } catch (...) {
-    return false;
-  }
+  // Hand-rolled "<int>[.<frac>]" parse: std::stod honours the process
+  // locale (a comma-decimal locale rejects "0.01"), and std::from_chars
+  // for double is spotty across stdlibs. Plans must behave identically
+  // regardless of LC_NUMERIC, so stay on the integer parsers.
+  const auto dot = text.find('.');
+  const std::string_view int_part = text.substr(0, dot);
+  const std::string_view frac_part =
+      dot == std::string_view::npos ? std::string_view() : text.substr(dot + 1);
+  if (int_part.empty() && frac_part.empty()) return false;
+  if (frac_part.size() > 18) return false;  // keeps the u64 parse exact
+  std::uint64_t int_value = 0;
+  std::uint64_t frac_value = 0;
+  if (!int_part.empty() && !parse_u64(int_part, int_value)) return false;
+  if (!frac_part.empty() && !parse_u64(frac_part, frac_value)) return false;
+  double scale = 1.0;
+  for (std::size_t i = 0; i < frac_part.size(); ++i) scale *= 10.0;
+  out = static_cast<double>(int_value) + static_cast<double>(frac_value) / scale;
+  return out >= 0.0 && out <= 1.0;
 }
 
 bool fail(std::string* error, const std::string& message) {
@@ -134,6 +143,9 @@ std::optional<FaultPlan> FaultPlan::parse(std::string_view spec, std::string* er
 
 std::string FaultPlan::to_string() const {
   std::ostringstream out;
+  // The grammar is locale-independent; a comma-decimal global locale
+  // must not leak into the serialized probabilities.
+  out.imbue(std::locale::classic());
   out << "seed=" << seed;
   append_channel(out, "data", data);
   append_channel(out, "ack", ack);

@@ -90,6 +90,20 @@ TEST(FaultPlan, RoundTripsThroughToString) {
   EXPECT_EQ(reparsed->crash_at_packet, plan->crash_at_packet);
 }
 
+TEST(FaultPlan, ParsesPlainDecimalsOnly) {
+  // The grammar is locale-independent plain decimals: no locale's
+  // comma separator, no exponent notation.
+  const auto plan = FaultPlan::parse("data.corrupt=0.25;ack.drop=.5;control.dup=1");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_DOUBLE_EQ(plan->data.corrupt, 0.25);
+  EXPECT_DOUBLE_EQ(plan->ack.drop, 0.5);
+  EXPECT_DOUBLE_EQ(plan->control.duplicate, 1.0);
+  EXPECT_FALSE(FaultPlan::parse("data.corrupt=0,25").has_value());
+  EXPECT_FALSE(FaultPlan::parse("data.corrupt=1e-2").has_value());
+  EXPECT_FALSE(FaultPlan::parse("data.corrupt=.").has_value());
+  EXPECT_FALSE(FaultPlan::parse("data.corrupt=").has_value());
+}
+
 TEST(FaultPlan, RejectsMalformedInput) {
   std::string error;
   EXPECT_FALSE(FaultPlan::parse("data.corrupt=1.5", &error).has_value());
@@ -234,6 +248,20 @@ TEST(AckHardening, RejectsAbsurdFragmentBits) {
   wire[42] = static_cast<std::uint8_t>(absurd >> 8);
   wire[43] = static_cast<std::uint8_t>(absurd);
   EXPECT_FALSE(posix::decode_ack(wire.data(), wire.size()).has_value());
+}
+
+TEST(AckHardening, RoundTripsReceiverEpoch) {
+  core::AckMessage ack;
+  ack.ack_no = 7;
+  ack.epoch = 0xDEADBEEFu;
+  ack.fragment_bits = 8;
+  ack.fragment = {0xFF};
+  const auto wire = posix::encode_ack(ack);
+  const auto decoded = posix::decode_ack(wire.data(), wire.size());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->epoch, 0xDEADBEEFu);
+  EXPECT_EQ(decoded->ack_no, 7u);
+  EXPECT_EQ(decoded->fragment, ack.fragment);
 }
 
 TEST(AckHardening, AcceptsMaximumLegitimateFragment) {

@@ -79,6 +79,49 @@ TEST(TransferObject, MapEmptyFileFails) {
   std::remove(path.c_str());
 }
 
+TEST(TransferObject, MapFileRwPersistsWritesAcrossMappings) {
+  const std::string path = temp_path("rw");
+  std::remove(path.c_str());
+  {
+    auto mapping = TransferObject::map_file_rw(path, 4096);
+    ASSERT_TRUE(mapping.has_value());
+    EXPECT_TRUE(mapping->is_mapped());
+    EXPECT_TRUE(mapping->is_writable());
+    EXPECT_EQ(mapping->size(), 4096);
+    auto view = mapping->mutable_view();
+    for (std::size_t i = 0; i < view.size(); ++i) {
+      view[i] = static_cast<std::uint8_t>(i * 7);
+    }
+    EXPECT_TRUE(mapping->sync());
+  }  // unmapped here, as after a process death
+  auto reopened = TransferObject::map_file_rw(path, 4096);
+  ASSERT_TRUE(reopened.has_value());
+  for (std::size_t i = 0; i < 4096; ++i) {
+    ASSERT_EQ(reopened->view()[i], static_cast<std::uint8_t>(i * 7)) << "byte " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TransferObject, MapFileRwCreatesAndResizes) {
+  const std::string path = temp_path("rw_resize");
+  std::remove(path.c_str());
+  // Creates a zero-filled file of the requested size.
+  {
+    auto mapping = TransferObject::map_file_rw(path, 100);
+    ASSERT_TRUE(mapping.has_value());
+    for (auto byte : mapping->view()) EXPECT_EQ(byte, 0);
+    mapping->mutable_view()[0] = 0xAA;
+  }
+  // A size mismatch resizes; surviving bytes within range are kept.
+  auto resized = TransferObject::map_file_rw(path, 200);
+  ASSERT_TRUE(resized.has_value());
+  EXPECT_EQ(resized->size(), 200);
+  EXPECT_EQ(resized->view()[0], 0xAA);
+  EXPECT_EQ(resized->view()[199], 0);
+  EXPECT_FALSE(TransferObject::map_file_rw(path, 0).has_value());
+  std::remove(path.c_str());
+}
+
 TEST(TransferObject, ChecksumDetectsCorruption) {
   auto object = TransferObject::pattern(1024, 5);
   const auto before = object.checksum();
