@@ -8,16 +8,18 @@
 // send/recv pair up across machines (or terminals): start the receiver
 // first; the sender listens for the completion signal on <port>+1, the
 // data flows over UDP port <port>.
+//
+// The demo runs both endpoints as sessions of one TransferEngine —
+// no hand-rolled threads — and reports outcomes via TransferStatus.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "fobs/object.h"
-#include "fobs/posix/posix_transfer.h"
+#include "fobs/posix/engine.h"
 #include "fobs/sim_transfer.h"
 
 namespace {
@@ -41,16 +43,20 @@ int run_demo() {
   send_opts.data_port = recv_opts.data_port;
   send_opts.control_port = recv_opts.control_port;
 
-  fobs::posix::ReceiverResult recv_result;
-  std::thread receiver([&] {
-    recv_result = fobs::posix::receive_object(recv_opts, std::span<std::uint8_t>(sink));
-  });
-  const auto send_result =
-      fobs::posix::send_object(send_opts, std::span<const std::uint8_t>(object));
-  receiver.join();
+  // Both endpoints run as sessions of one engine; wait() replaces the
+  // manual thread-join choreography.
+  fobs::posix::TransferEngine engine({.workers = 2});
+  auto rx = engine.submit_receive(recv_opts, std::span<std::uint8_t>(sink));
+  auto tx = engine.submit_send(send_opts, std::span<const std::uint8_t>(object));
+  rx.wait();
+  tx.wait();
+  const auto& send_result = tx.sender_result();
+  const auto& recv_result = rx.receiver_result();
 
-  if (!send_result.completed || !recv_result.completed) {
-    std::printf("FAILED: %s %s\n", send_result.error.c_str(), recv_result.error.c_str());
+  if (!send_result.completed() || !recv_result.completed()) {
+    std::printf("FAILED: sender %s (%s), receiver %s (%s)\n",
+                to_string(send_result.status), send_result.error.c_str(),
+                to_string(recv_result.status), recv_result.error.c_str());
     return 1;
   }
   const bool ok = sink == object;
@@ -71,12 +77,13 @@ int main(int argc, char** argv) {
     fobs::posix::ReceiverOptions opts;
     opts.data_port = static_cast<std::uint16_t>(std::atoi(argv[2]));
     opts.control_port = static_cast<std::uint16_t>(opts.data_port + 1);
-    opts.timeout_ms = 300'000;
+    opts.endpoint.timeout_ms = 300'000;
     std::vector<std::uint8_t> buffer(static_cast<std::size_t>(std::atoll(argv[3])));
     std::printf("receiving %zu bytes on UDP port %u...\n", buffer.size(), opts.data_port);
     const auto result = fobs::posix::receive_object(opts, std::span<std::uint8_t>(buffer));
-    if (!result.completed) {
-      std::printf("receive failed: %s\n", result.error.c_str());
+    if (!result.completed()) {
+      std::printf("receive failed [%s]: %s\n", to_string(result.status),
+                  result.error.c_str());
       return 1;
     }
     if (!write_file(argv[4], buffer)) {
@@ -94,7 +101,7 @@ int main(int argc, char** argv) {
     opts.receiver_host = argv[2];
     opts.data_port = static_cast<std::uint16_t>(std::atoi(argv[3]));
     opts.control_port = static_cast<std::uint16_t>(opts.data_port + 1);
-    opts.timeout_ms = 300'000;
+    opts.endpoint.timeout_ms = 300'000;
     // Memory-map the file: the object buffer spans the whole file
     // without staging it through the heap.
     const auto object = fobs::core::TransferObject::map_file(argv[4]);
@@ -106,8 +113,8 @@ int main(int argc, char** argv) {
                 static_cast<long long>(object->size()), opts.receiver_host.c_str(),
                 opts.data_port, static_cast<unsigned long long>(object->checksum()));
     const auto result = fobs::posix::send_object(opts, object->view());
-    if (!result.completed) {
-      std::printf("send failed: %s\n", result.error.c_str());
+    if (!result.completed()) {
+      std::printf("send failed [%s]: %s\n", to_string(result.status), result.error.c_str());
       return 1;
     }
     std::printf("done: %.0f Mb/s, waste %.2f%%\n", result.goodput_mbps, 100.0 * result.waste);

@@ -1,248 +1,141 @@
-// fobsd — a minimal FOBS file server over real sockets.
+// fobsd — a FOBS file server over real sockets.
 //
 //   fobsd serve <dir> <port>                 # serve files from <dir>
 //   fobsd fetch <host> <port> <name> <out>   # fetch one file
-//   fobsd demo                               # serve+fetch in one process
+//   fobsd demo                               # serve + 3 concurrent fetches
 //
 // Protocol: the client opens a TCP "catalog" connection to <port> and
 // sends one request line:  "<name> <client-udp-port>\n". The server
-// replies "<size> <control-port>\n" (size -1 = not found), then pushes
+// replies "<size> <control-port>\n" (size -1 = refused), then pushes
 // the file with a FOBS transfer: data to the client's UDP port, the
-// completion signal accepted on <control-port>. Transfers are served
-// one at a time — fobsd is a demonstration of embedding the library in
-// a service, not a production daemon.
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
+// completion signal accepted on the per-session control port.
+//
+// The heavy lifting lives in the library (fobs/posix/fileserver.h, on
+// top of the session engine in fobs/posix/engine.h): requests are
+// accepted concurrently, every transfer runs as its own engine session
+// with its own control port from [port+1, port+1+32), and a silent
+// catalog client times out instead of wedging the server.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "fobs/object.h"
-#include "fobs/posix/posix_transfer.h"
+#include "fobs/posix/fileserver.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
 namespace {
 
-// With FOBS_TRACE_DIR set, every transfer leaves a JSONL event trace
-// behind and the demo prints the process-wide metrics table.
 std::string trace_dir() {
   const char* env = std::getenv("FOBS_TRACE_DIR");
   return env == nullptr ? std::string() : std::string(env);
 }
 
-void maybe_dump_trace(const fobs::telemetry::EventTracer& trace, const std::string& stem) {
-  const auto dir = trace_dir();
-  if (dir.empty()) return;
-  const std::string path = dir + "/" + stem + ".jsonl";
-  std::printf("fobsd: %s trace %s\n",
-              trace.write_jsonl_file(path) ? "wrote" : "FAILED writing", path.c_str());
-}
-
-bool send_line(int fd, const std::string& line) {
-  return ::send(fd, line.data(), line.size(), 0) == static_cast<ssize_t>(line.size());
-}
-
-std::string recv_line(int fd) {
-  std::string line;
-  char ch = 0;
-  while (line.size() < 512 && ::recv(fd, &ch, 1, 0) == 1) {
-    if (ch == '\n') return line;
-    line.push_back(ch);
-  }
-  return line;
-}
-
-bool name_is_safe(const std::string& name) {
-  if (name.empty() || name.front() == '/') return false;
-  return name.find("..") == std::string::npos;
-}
-
-int run_server(const std::string& dir, std::uint16_t port, int max_requests = -1) {
-  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
-  const int one = 1;
-  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  addr.sin_addr.s_addr = INADDR_ANY;
-  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
-      ::listen(listener, 4) != 0) {
-    std::perror("fobsd: bind/listen");
+int run_server(const std::string& dir, std::uint16_t port) {
+  fobs::posix::FileServerOptions options;
+  options.dir = dir;
+  options.catalog_port = port;
+  options.trace_dir = trace_dir();
+  fobs::posix::FileServer server(options);
+  if (!server.start()) {
+    std::printf("fobsd: cannot serve %s on port %u\n", dir.c_str(), port);
     return 1;
   }
-  std::printf("fobsd: serving %s on port %u\n", dir.c_str(), port);
-
-  int served = 0;
-  while (max_requests < 0 || served < max_requests) {
-    sockaddr_in peer{};
-    socklen_t peer_len = sizeof peer;
-    const int conn = ::accept(listener, reinterpret_cast<sockaddr*>(&peer), &peer_len);
-    if (conn < 0) continue;
-    const std::string request = recv_line(conn);
-    const auto space = request.find(' ');
-    const std::string name = request.substr(0, space);
-    const int client_port = space == std::string::npos
-                                ? 0
-                                : std::atoi(request.c_str() + space + 1);
-    char client_host[64] = {0};
-    ::inet_ntop(AF_INET, &peer.sin_addr, client_host, sizeof client_host);
-
-    auto object = name_is_safe(name)
-                      ? fobs::core::TransferObject::map_file(dir + "/" + name)
-                      : std::nullopt;
-    if (!object || client_port <= 0) {
-      send_line(conn, "-1 0\n");
-      ::close(conn);
-      ++served;
-      continue;
-    }
-    const std::uint16_t control_port = static_cast<std::uint16_t>(port + 1);
-    send_line(conn,
-              std::to_string(object->size()) + " " + std::to_string(control_port) + "\n");
-    ::close(conn);  // catalog exchange done; the transfer takes over
-
-    fobs::telemetry::EventTracer trace;
-    fobs::posix::SenderOptions opts;
-    opts.receiver_host = client_host;
-    opts.data_port = static_cast<std::uint16_t>(client_port);
-    opts.control_port = control_port;
-    opts.tracer = &trace;
-    const auto result = fobs::posix::send_object(opts, object->view());
-    std::printf("fobsd: %s -> %s:%d  %s (%.0f Mb/s, waste %.2f%%)\n", name.c_str(),
-                client_host, client_port, result.completed ? "ok" : "FAILED",
-                result.goodput_mbps, 100.0 * result.waste);
-    maybe_dump_trace(trace, "fobsd_serve_" + std::to_string(served));
-    ++served;
-  }
-  ::close(listener);
+  // Serve until killed.
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+  int sig = 0;
+  sigwait(&set, &sig);
+  std::printf("fobsd: shutting down (%llu transfers served)\n",
+              static_cast<unsigned long long>(server.transfers_completed()));
+  server.stop();
   return 0;
 }
 
 int run_fetch(const std::string& host, std::uint16_t port, const std::string& name,
               const std::string& out_path, std::uint16_t data_port) {
-  const int conn = ::socket(AF_INET, SOCK_STREAM, 0);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr);
-  // The server may still be starting (demo mode): retry briefly.
-  int attempts = 0;
-  while (::connect(conn, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    if (++attempts > 100) {
-      std::perror("fobsd: connect");
-      return 1;
-    }
-    ::usleep(20'000);
-  }
-  send_line(conn, name + " " + std::to_string(data_port) + "\n");
-  const std::string reply = recv_line(conn);
-  ::close(conn);
-  long long size = -1;
-  int control_port = 0;
-  std::sscanf(reply.c_str(), "%lld %d", &size, &control_port);
-  if (size < 0 || control_port <= 0) {
-    std::printf("fobsd: server refused '%s'\n", name.c_str());
-    return 1;
-  }
-
-  // Crash resilience: the receive buffer IS the <out>.part file — a
-  // writable shared mapping, so every validated packet lands in the
-  // page cache the moment it is written and the bitmap sidecar can
-  // never record packets whose bytes a hard crash (kill -9, OOM) threw
-  // away. The bitmap may lag the data, which only costs resends.
-  const std::string partial_path = out_path + ".part";
-  const std::string checkpoint_path = out_path + ".ckpt";
-  struct stat part_stat{};
-  const bool resuming = ::stat(partial_path.c_str(), &part_stat) == 0 &&
-                        part_stat.st_size == static_cast<off_t>(size);
-  if (!resuming) {
-    // No matching partial bytes: a leftover checkpoint describes data we
-    // do not have, and restoring it would leave silent zero-filled holes
-    // in the fetched file.
-    std::remove(checkpoint_path.c_str());
-  } else {
-    std::printf("fobsd: found partial fetch %s, attempting resume\n", partial_path.c_str());
-  }
-  auto partial = fobs::core::TransferObject::map_file_rw(partial_path,
-                                                         static_cast<std::int64_t>(size));
+  fobs::posix::FetchOptions options;
+  options.host = host;
+  options.catalog_port = port;
+  options.name = name;
+  options.out_path = out_path;
+  options.data_port = data_port;
   fobs::telemetry::EventTracer trace;
-  fobs::posix::ReceiverOptions opts;
-  opts.sender_host = host;
-  opts.data_port = data_port;
-  opts.control_port = static_cast<std::uint16_t>(control_port);
-  opts.tracer = &trace;
-  std::vector<std::uint8_t> fallback;
-  std::span<std::uint8_t> buffer;
-  if (partial) {
-    // Checkpointing is only safe with the file-backed buffer.
-    opts.checkpoint_path = checkpoint_path;
-    buffer = partial->mutable_view();
-  } else {
-    std::printf("fobsd: cannot map %s; fetching without resume support\n",
-                partial_path.c_str());
-    std::remove(checkpoint_path.c_str());
-    fallback.resize(static_cast<std::size_t>(size));
-    buffer = fallback;
+  if (!trace_dir().empty()) options.endpoint.tracer = &trace;
+  const auto result = fobs::posix::fetch_file(options);
+  if (!trace_dir().empty()) {
+    (void)trace.write_jsonl_file(trace_dir() + "/fobsd_fetch.jsonl");
   }
-  const auto result = fobs::posix::receive_object(opts, buffer);
-  maybe_dump_trace(trace, "fobsd_fetch");
   if (result.packets_restored > 0) {
     std::printf("fobsd: resumed from checkpoint (%lld packets already on disk)\n",
                 static_cast<long long>(result.packets_restored));
   }
-  if (partial) partial->sync();
-  if (!result.completed) {
-    std::printf("fobsd: fetch failed: %s\n", result.error.c_str());
-    if (partial) {
-      std::printf("fobsd: kept partial bytes in %s for resume\n", partial_path.c_str());
-    }
+  if (!result.completed()) {
+    std::printf("fobsd: fetch failed [%s]: %s\n", to_string(result.status),
+                result.error.c_str());
     return 1;
   }
-  std::uint64_t checksum = 0;
-  if (partial) {
-    checksum = partial->checksum();
-    partial.reset();  // unmap before renaming into place
-    if (std::rename(partial_path.c_str(), out_path.c_str()) != 0) {
-      std::printf("fobsd: cannot move %s to %s\n", partial_path.c_str(), out_path.c_str());
-      return 1;
-    }
-  } else {
-    auto object = fobs::core::TransferObject::from_vector(std::move(fallback));
-    if (!object.write_to_file(out_path)) {
-      std::printf("fobsd: cannot write %s\n", out_path.c_str());
-      return 1;
-    }
-    checksum = object.checksum();
-  }
   std::printf("fobsd: fetched %s (%lld bytes, %.0f Mb/s, checksum %016llx)\n", name.c_str(),
-              size, result.goodput_mbps, static_cast<unsigned long long>(checksum));
+              static_cast<long long>(result.bytes), result.goodput_mbps,
+              static_cast<unsigned long long>(result.checksum));
   return 0;
 }
 
 int run_demo() {
-  // Stage a file, serve it from a background thread, fetch it back.
+  // Stage three files, serve them, and fetch all three *concurrently*
+  // from distinct clients — the one-transfer-at-a-time fobsd is gone.
   const std::string dir = "/tmp/fobsd_demo";
   (void)::system(("mkdir -p " + dir).c_str());
-  auto original = fobs::core::TransferObject::pattern(8 * 1024 * 1024, 0xF0B5D);
-  if (!original.write_to_file(dir + "/dataset.bin")) return 1;
+  const std::vector<std::int64_t> sizes = {8 * 1024 * 1024, 3 * 1024 * 1024, 5 * 1024 * 1024};
+  std::vector<std::uint64_t> checksums;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    auto original = fobs::core::TransferObject::pattern(sizes[i], 0xF0B5D + i);
+    checksums.push_back(original.checksum());
+    if (!original.write_to_file(dir + "/dataset" + std::to_string(i) + ".bin")) return 1;
+  }
 
-  std::thread server([&] { run_server(dir, 39100, /*max_requests=*/1); });
-  const int rc = run_fetch("127.0.0.1", 39100, "dataset.bin", dir + "/fetched.bin", 39200);
-  server.join();
-  if (rc != 0) return rc;
+  fobs::posix::FileServerOptions server_options;
+  server_options.dir = dir;
+  server_options.catalog_port = 39100;
+  server_options.trace_dir = trace_dir();
+  fobs::posix::FileServer server(server_options);
+  if (!server.start()) return 1;
 
-  const auto fetched = fobs::core::TransferObject::map_file(dir + "/fetched.bin");
-  const bool ok = fetched && fetched->checksum() == original.checksum();
-  std::printf("fobsd demo: content %s\n", ok ? "verified" : "MISMATCH");
+  std::vector<std::thread> clients;
+  std::vector<int> rcs(sizes.size(), 1);
+  std::vector<fobs::posix::FetchResult> fetches(sizes.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    clients.emplace_back([&, i] {
+      fobs::posix::FetchOptions options;
+      options.catalog_port = 39100;
+      options.name = "dataset" + std::to_string(i) + ".bin";
+      options.out_path = dir + "/fetched" + std::to_string(i) + ".bin";
+      options.data_port = static_cast<std::uint16_t>(39200 + i);
+      fetches[i] = fobs::posix::fetch_file(options);
+      rcs[i] = fetches[i].completed() ? 0 : 1;
+    });
+  }
+  for (auto& c : clients) c.join();
+  server.stop();
+
+  bool ok = true;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const bool verified = rcs[i] == 0 && fetches[i].checksum == checksums[i];
+    std::printf("fobsd demo: dataset%zu %s (%lld bytes, %.0f Mb/s)\n", i,
+                verified ? "verified" : "MISMATCH",
+                static_cast<long long>(fetches[i].bytes), fetches[i].goodput_mbps);
+    ok = ok && verified;
+  }
+  std::printf("fobsd demo: %llu concurrent transfers served, content %s\n",
+              static_cast<unsigned long long>(server.transfers_completed()),
+              ok ? "verified" : "MISMATCH");
   if (!trace_dir().empty()) {
     std::printf("\nprocess metrics:\n");
     fobs::telemetry::MetricsRegistry::global().to_table().print(std::cout);

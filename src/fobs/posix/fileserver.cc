@@ -1,0 +1,310 @@
+#include "fobs/posix/fileserver.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/log.h"
+#include "fobs/object.h"
+#include "telemetry/metrics.h"
+
+namespace fobs::posix {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool send_line(int fd, const std::string& line) {
+  return ::send(fd, line.data(), line.size(), MSG_NOSIGNAL) ==
+         static_cast<ssize_t>(line.size());
+}
+
+/// Reads one '\n'-terminated line (newline stripped) from a stream
+/// socket, giving up at `deadline`. This timeout is what keeps a
+/// connected-but-silent client from wedging a catalog worker forever.
+/// Returns false on timeout/EOF/error; `line` holds whatever arrived.
+bool recv_line(int fd, Clock::time_point deadline, std::string& line) {
+  line.clear();
+  char ch = 0;
+  while (line.size() < 512) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (remaining.count() <= 0) return false;
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(std::min<std::int64_t>(
+                                          remaining.count(), 100)));
+    if (ready < 0 && errno != EINTR) return false;
+    if (ready <= 0) continue;
+    const ssize_t n = ::recv(fd, &ch, 1, 0);
+    if (n == 0) return false;  // EOF before the newline
+    if (n < 0) {
+      if (errno == EWOULDBLOCK || errno == EAGAIN || errno == EINTR) continue;
+      return false;
+    }
+    if (ch == '\n') return true;
+    line.push_back(ch);
+  }
+  return false;  // over-long request line
+}
+
+bool name_is_safe(const std::string& name) {
+  if (name.empty() || name.front() == '/') return false;
+  return name.find("..") == std::string::npos;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FileServer
+// ---------------------------------------------------------------------------
+
+FileServer::FileServer(FileServerOptions options) : options_(std::move(options)) {
+  if (options_.control_port_base == 0) {
+    options_.control_port_base = static_cast<std::uint16_t>(options_.catalog_port + 1);
+  }
+}
+
+FileServer::~FileServer() { stop(); }
+
+bool FileServer::start() {
+  if (engine_) return false;  // already started
+  if (options_.dir.empty() || options_.catalog_port == 0 ||
+      options_.control_port_count == 0) {
+    return false;
+  }
+  EngineOptions engine_options;
+  engine_options.workers = options_.workers;
+  engine_options.control_port_base = options_.control_port_base;
+  engine_options.control_port_count = options_.control_port_count;
+  engine_options.session_tracers = !options_.trace_dir.empty();
+  engine_ = std::make_unique<TransferEngine>(engine_options);
+  if (!engine_->start_acceptor(options_.catalog_port, [this](int fd, std::string peer) {
+        handle_catalog(fd, peer);
+      })) {
+    engine_.reset();
+    return false;
+  }
+  if (!options_.quiet) {
+    std::printf("fobsd: serving %s on port %u (%zu workers, %u control ports)\n",
+                options_.dir.c_str(), options_.catalog_port, options_.workers,
+                options_.control_port_count);
+  }
+  return true;
+}
+
+void FileServer::stop() {
+  if (!engine_) return;
+  engine_->stop_acceptor();
+  engine_->cancel_all();
+  engine_->wait_idle();
+  engine_.reset();
+}
+
+bool FileServer::running() const { return engine_ != nullptr && engine_->acceptor_running(); }
+
+void FileServer::handle_catalog(int fd, const std::string& peer_host) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(std::max(1, options_.catalog_recv_timeout_ms));
+  std::string request;
+  if (!recv_line(fd, deadline, request)) {
+    catalog_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::MetricsRegistry::global().counter("fobs.fileserver.catalog_timeouts").inc();
+    ::close(fd);
+    return;
+  }
+  const auto space = request.find(' ');
+  const std::string name = request.substr(0, space);
+  const int client_port =
+      space == std::string::npos ? 0 : std::atoi(request.c_str() + space + 1);
+
+  auto mapped = name_is_safe(name)
+                    ? fobs::core::TransferObject::map_file(options_.dir + "/" + name)
+                    : std::nullopt;
+  if (!mapped || client_port <= 0 || client_port > 65535) {
+    refused_.fetch_add(1, std::memory_order_relaxed);
+    send_line(fd, "-1 0\n");
+    ::close(fd);
+    return;
+  }
+  const auto control_port = engine_->allocate_control_port();
+  if (!control_port) {
+    // Every control port is carrying a transfer: shed load instead of
+    // queueing a session that could not listen anywhere.
+    refused_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::MetricsRegistry::global().counter("fobs.fileserver.port_exhausted").inc();
+    send_line(fd, "-1 0\n");
+    ::close(fd);
+    return;
+  }
+  auto object = std::make_shared<fobs::core::TransferObject>(std::move(*mapped));
+  send_line(fd,
+            std::to_string(object->size()) + " " + std::to_string(*control_port) + "\n");
+  ::close(fd);  // catalog exchange done; the transfer session takes over
+
+  SenderOptions send_options;
+  send_options.receiver_host = peer_host;
+  send_options.data_port = static_cast<std::uint16_t>(client_port);
+  send_options.control_port = *control_port;
+  send_options.endpoint = options_.endpoint;
+
+  SessionParams params;
+  params.keepalive = object;
+  params.owned_control_port = *control_port;
+  params.on_exit = [this, name, peer_host, client_port](const TransferHandle& handle) {
+    const auto& result = handle.sender_result();
+    if (result.completed()) {
+      completed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!options_.quiet) {
+      std::printf("fobsd: %s -> %s:%d  %s (%.0f Mb/s, waste %.2f%%)\n", name.c_str(),
+                  peer_host.c_str(), client_port, to_string(result.status),
+                  result.goodput_mbps, 100.0 * result.waste);
+    }
+    if (!options_.trace_dir.empty() && handle.tracer() != nullptr) {
+      const std::string path = options_.trace_dir + "/fobsd_serve_" +
+                               std::to_string(handle.id()) + ".jsonl";
+      if (!handle.tracer()->write_jsonl_file(path)) {
+        FOBS_WARN("fobs.fileserver", "failed writing trace " << path);
+      }
+    }
+  };
+  started_.fetch_add(1, std::memory_order_relaxed);
+  engine_->submit_send(send_options, object->view(), std::move(params));
+}
+
+// ---------------------------------------------------------------------------
+// fetch_file
+// ---------------------------------------------------------------------------
+
+FetchResult fetch_file(const FetchOptions& options) {
+  FetchResult result;
+  result.status = TransferStatus::kBadOptions;
+  if (options.catalog_port == 0 || options.data_port == 0 || options.name.empty() ||
+      options.out_path.empty()) {
+    result.error = "invalid options: catalog_port, data_port, name, out_path are required";
+    return result;
+  }
+
+  // Catalog exchange, retrying the connect (the server may still be
+  // starting).
+  const int conn = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (conn < 0) {
+    result.status = TransferStatus::kSocketError;
+    result.error = "socket failed";
+    return result;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.catalog_port);
+  ::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr);
+  int attempts = 0;
+  while (::connect(conn, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (++attempts > std::max(1, options.connect_attempts)) {
+      ::close(conn);
+      result.status = TransferStatus::kPeerLost;
+      result.error = "catalog connect failed";
+      return result;
+    }
+    ::usleep(20'000);
+  }
+  send_line(conn, options.name + " " + std::to_string(options.data_port) + "\n");
+  std::string reply;
+  const bool got_reply = recv_line(
+      conn, Clock::now() + std::chrono::milliseconds(std::max(1, options.endpoint.timeout_ms)),
+      reply);
+  ::close(conn);
+  long long size = -1;
+  int control_port = 0;
+  if (got_reply) std::sscanf(reply.c_str(), "%lld %d", &size, &control_port);
+  if (size < 0 || control_port <= 0) {
+    result.status = TransferStatus::kPeerLost;
+    result.error = "server refused '" + options.name + "'";
+    return result;
+  }
+  result.bytes = size;
+
+  // Crash resilience: the receive buffer IS the <out>.part file — a
+  // writable shared mapping, so every validated packet lands in the
+  // page cache the moment it is written and the bitmap sidecar can
+  // never record packets whose bytes a hard crash (kill -9, OOM) threw
+  // away. The bitmap may lag the data, which only costs resends.
+  const std::string partial_path = options.out_path + ".part";
+  const std::string checkpoint_path = options.out_path + ".ckpt";
+  struct stat part_stat{};
+  const bool resuming = options.resume && ::stat(partial_path.c_str(), &part_stat) == 0 &&
+                        part_stat.st_size == static_cast<off_t>(size);
+  if (!resuming) {
+    // No matching partial bytes: a leftover checkpoint describes data we
+    // do not have, and restoring it would leave silent zero-filled holes
+    // in the fetched file.
+    std::remove(checkpoint_path.c_str());
+  } else if (!options.quiet) {
+    std::printf("fobsd: found partial fetch %s, attempting resume\n", partial_path.c_str());
+  }
+  auto partial = fobs::core::TransferObject::map_file_rw(partial_path,
+                                                         static_cast<std::int64_t>(size));
+  ReceiverOptions recv_options;
+  recv_options.sender_host = options.host;
+  recv_options.data_port = options.data_port;
+  recv_options.control_port = static_cast<std::uint16_t>(control_port);
+  recv_options.endpoint = options.endpoint;
+  std::vector<std::uint8_t> fallback;
+  std::span<std::uint8_t> buffer;
+  if (partial) {
+    // Checkpointing is only safe with the file-backed buffer.
+    recv_options.checkpoint_path = checkpoint_path;
+    buffer = partial->mutable_view();
+  } else {
+    if (!options.quiet) {
+      std::printf("fobsd: cannot map %s; fetching without resume support\n",
+                  partial_path.c_str());
+    }
+    std::remove(checkpoint_path.c_str());
+    fallback.resize(static_cast<std::size_t>(size));
+    buffer = fallback;
+  }
+  const auto recv_result = receive_object(recv_options, buffer);
+  result.status = recv_result.status;
+  result.error = recv_result.error;
+  result.packets_restored = recv_result.packets_restored;
+  result.goodput_mbps = recv_result.goodput_mbps;
+  if (partial) partial->sync();
+  if (!recv_result.completed()) {
+    if (partial && !options.quiet) {
+      std::printf("fobsd: kept partial bytes in %s for resume\n", partial_path.c_str());
+    }
+    return result;
+  }
+  if (partial) {
+    result.checksum = partial->checksum();
+    partial.reset();  // unmap before renaming into place
+    if (std::rename(partial_path.c_str(), options.out_path.c_str()) != 0) {
+      result.status = TransferStatus::kSocketError;
+      result.error = "cannot move " + partial_path + " to " + options.out_path;
+      return result;
+    }
+  } else {
+    auto object = fobs::core::TransferObject::from_vector(std::move(fallback));
+    if (!object.write_to_file(options.out_path)) {
+      result.status = TransferStatus::kSocketError;
+      result.error = "cannot write " + options.out_path;
+      return result;
+    }
+    result.checksum = object.checksum();
+  }
+  return result;
+}
+
+}  // namespace fobs::posix

@@ -1,0 +1,116 @@
+// A concurrent FOBS file server (and its fetch client) built on the
+// session engine — the library form of `fobsd`.
+//
+// Catalog protocol (one TCP connection per request):
+//   client -> "<name> <client-udp-port>\n"
+//   server -> "<size> <control-port>\n"     (size -1 = refused)
+// then the server pushes the file with a FOBS transfer: data to the
+// client's UDP port, the completion signal accepted on the per-session
+// control port, which is allocated from a range so many transfers can
+// run at once. Catalog sockets carry a receive timeout: a client that
+// connects and sends nothing stalls only its own pool worker for
+// `catalog_recv_timeout_ms`, never the accept loop.
+//
+// The fetch client is crash-resilient: it receives into a writable
+// mapping of `<out>.part` with a `<out>.ckpt` bitmap sidecar, resumes
+// from both when they match, and renames into place when complete.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "fobs/posix/engine.h"
+
+namespace fobs::posix {
+
+struct FileServerOptions {
+  std::string dir;                   ///< directory served (required)
+  std::uint16_t catalog_port = 0;    ///< TCP catalog listener (required)
+  /// Per-session control ports come from [base, base + count);
+  /// 0 base = catalog_port + 1.
+  std::uint16_t control_port_base = 0;
+  std::uint16_t control_port_count = 32;
+  /// Worker threads: bounds concurrently running transfers (plus
+  /// in-flight catalog exchanges).
+  std::size_t workers = 4;
+  /// Catalog-socket receive timeout — the serve loop can no longer be
+  /// wedged by a silent client.
+  int catalog_recv_timeout_ms = 5'000;
+  /// Per-session JSONL traces are written here when non-empty.
+  std::string trace_dir;
+  /// Suppress per-request stdout lines (tests).
+  bool quiet = false;
+  /// Applied to every transfer session (timeout, packet size, ...).
+  EndpointOptions endpoint;
+};
+
+class FileServer {
+ public:
+  explicit FileServer(FileServerOptions options);
+  ~FileServer();
+
+  FileServer(const FileServer&) = delete;
+  FileServer& operator=(const FileServer&) = delete;
+
+  /// Binds the catalog listener and starts accepting. False when the
+  /// options are invalid or the port cannot be bound.
+  bool start();
+  /// Stops accepting, cancels live sessions, waits for them to finish.
+  void stop();
+  [[nodiscard]] bool running() const;
+
+  [[nodiscard]] const FileServerOptions& options() const { return options_; }
+
+  // Lifetime counters (monotonic).
+  [[nodiscard]] std::uint64_t requests_handled() const { return requests_.load(); }
+  [[nodiscard]] std::uint64_t requests_refused() const { return refused_.load(); }
+  [[nodiscard]] std::uint64_t catalog_timeouts() const { return catalog_timeouts_.load(); }
+  [[nodiscard]] std::uint64_t transfers_started() const { return started_.load(); }
+  [[nodiscard]] std::uint64_t transfers_completed() const { return completed_.load(); }
+  [[nodiscard]] std::uint64_t transfers_failed() const { return failed_.load(); }
+
+ private:
+  void handle_catalog(int fd, const std::string& peer_host);
+
+  FileServerOptions options_;
+  std::unique_ptr<TransferEngine> engine_;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> refused_{0};
+  std::atomic<std::uint64_t> catalog_timeouts_{0};
+  std::atomic<std::uint64_t> started_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+};
+
+struct FetchOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t catalog_port = 0;  ///< server's catalog port (required)
+  std::string name;                ///< file name in the server's directory
+  std::string out_path;            ///< local destination path
+  std::uint16_t data_port = 0;     ///< local UDP port for the data (required)
+  /// Catalog connect retry budget (the server may still be starting).
+  int connect_attempts = 100;
+  /// Resume from `<out>.part` + `<out>.ckpt` when they match.
+  bool resume = true;
+  bool quiet = false;
+  /// Applied to the receive session.
+  EndpointOptions endpoint;
+};
+
+struct FetchResult {
+  TransferStatus status = TransferStatus::kPending;
+  std::string error;
+  std::int64_t bytes = 0;
+  std::int64_t packets_restored = 0;  ///< resumed from a checkpoint
+  double goodput_mbps = 0.0;
+  std::uint64_t checksum = 0;  ///< FNV-1a of the fetched content
+
+  [[nodiscard]] bool completed() const { return status == TransferStatus::kCompleted; }
+};
+
+/// Fetches one file from a FileServer (or `fobsd serve`). Blocking.
+FetchResult fetch_file(const FetchOptions& options);
+
+}  // namespace fobs::posix

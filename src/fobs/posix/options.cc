@@ -1,0 +1,25 @@
+#include "fobs/posix/options.h"
+
+namespace fobs::posix {
+
+const char* to_string(TransferStatus status) {
+  switch (status) {
+    case TransferStatus::kPending: return "pending";
+    case TransferStatus::kRunning: return "running";
+    case TransferStatus::kCompleted: return "completed";
+    case TransferStatus::kTimeout: return "timeout";
+    case TransferStatus::kStalled: return "stalled";
+    case TransferStatus::kPeerLost: return "peer_lost";
+    case TransferStatus::kSocketError: return "socket_error";
+    case TransferStatus::kBadOptions: return "bad_options";
+    case TransferStatus::kCancelled: return "cancelled";
+    case TransferStatus::kCrashed: return "crashed";
+  }
+  return "unknown";
+}
+
+bool is_terminal(TransferStatus status) {
+  return status != TransferStatus::kPending && status != TransferStatus::kRunning;
+}
+
+}  // namespace fobs::posix

@@ -38,12 +38,44 @@ void begin_trace(fobs::telemetry::EventTracer* tracer, Clock::time_point start,
   tracer->record(telemetry::EventType::kTransferStart, -1, packet_count);
 }
 
-/// Records the terminal timeout/error event matching `error` ("" = none).
-void end_trace(fobs::telemetry::EventTracer* tracer, const std::string& error) {
-  if (tracer == nullptr || error.empty()) return;
-  tracer->record(error == "timeout" || error == "control connect timeout"
-                     ? telemetry::EventType::kTimeout
-                     : telemetry::EventType::kError);
+/// Records the terminal trace event for a non-completed status: the
+/// give-up statuses map to a timeout event, hard failures to an error
+/// event, and completion/cancellation to none.
+void end_trace(fobs::telemetry::EventTracer* tracer, TransferStatus status) {
+  if (tracer == nullptr) return;
+  switch (status) {
+    case TransferStatus::kCompleted:
+    case TransferStatus::kCancelled:
+      return;
+    case TransferStatus::kTimeout:
+    case TransferStatus::kStalled:
+    case TransferStatus::kPeerLost:
+      tracer->record(telemetry::EventType::kTimeout);
+      return;
+    default:
+      tracer->record(telemetry::EventType::kError);
+      return;
+  }
+}
+
+/// Classifies a completed run into the per-outcome metrics counters.
+void count_outcome(telemetry::MetricsRegistry& metrics, const char* side,
+                   TransferStatus status) {
+  const std::string prefix = std::string("fobs.posix.") + side;
+  switch (status) {
+    case TransferStatus::kCompleted: metrics.counter(prefix + ".completed").inc(); break;
+    case TransferStatus::kTimeout:
+    case TransferStatus::kStalled:
+    case TransferStatus::kPeerLost:
+      metrics.counter(prefix + ".timeouts").inc();
+      break;
+    case TransferStatus::kCancelled: metrics.counter(prefix + ".cancelled").inc(); break;
+    default: metrics.counter(prefix + ".errors").inc(); break;
+  }
+}
+
+bool cancel_requested(const std::atomic<bool>* cancel) {
+  return cancel != nullptr && cancel->load(std::memory_order_relaxed);
 }
 
 /// RAII file descriptor.
@@ -146,11 +178,13 @@ bool send_all(int fd, const std::uint8_t* data, std::size_t len, Clock::time_poi
 }
 
 /// Connects a fresh TCP socket to the control port, retrying with
-/// capped exponential backoff until `deadline`. Invalid Fd on failure.
-Fd connect_control(const std::string& host, std::uint16_t port, Clock::time_point deadline) {
+/// capped exponential backoff until `deadline` (or cancellation).
+/// Invalid Fd on failure.
+Fd connect_control(const std::string& host, std::uint16_t port, Clock::time_point deadline,
+                   const std::atomic<bool>* cancel) {
   auto backoff = std::chrono::milliseconds(5);
   constexpr auto kMaxBackoff = std::chrono::milliseconds(200);
-  while (Clock::now() < deadline) {
+  while (Clock::now() < deadline && !cancel_requested(cancel)) {
     Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
     if (!fd.valid()) return {};
     const sockaddr_in addr = make_addr(host, port);
@@ -196,17 +230,21 @@ class StallClock {
 
 }  // namespace
 
+namespace detail {
+
 // ---------------------------------------------------------------------------
 // Sender
 // ---------------------------------------------------------------------------
 
-SenderResult send_object(const SenderOptions& options, std::span<const std::uint8_t> object) {
+SenderResult run_sender(const SenderOptions& options, std::span<const std::uint8_t> object,
+                        const std::atomic<bool>* cancel) {
   SenderResult result;
+  result.status = TransferStatus::kBadOptions;
   if (options.data_port == 0 || options.control_port == 0) {
     result.error = "invalid options: data_port and control_port must be non-zero";
     return result;
   }
-  if (options.packet_bytes <= 0) {
+  if (options.endpoint.packet_bytes <= 0) {
     result.error = "invalid options: packet_bytes must be positive";
     return result;
   }
@@ -215,13 +253,14 @@ SenderResult send_object(const SenderOptions& options, std::span<const std::uint
     return result;
   }
   fobs::core::TransferSpec spec{static_cast<std::int64_t>(object.size()),
-                                options.packet_bytes};
+                                options.endpoint.packet_bytes};
   result.packets_needed = spec.packet_count();
 
   std::optional<fobs::net::FaultInjector> faults;
-  if (!resolve_fault_plan(options.fault_plan, faults, result.error)) return result;
+  if (!resolve_fault_plan(options.endpoint.fault_plan, faults, result.error)) return result;
 
   // UDP socket for data out / ACKs in.
+  result.status = TransferStatus::kSocketError;
   Fd udp(::socket(AF_INET, SOCK_DGRAM, 0));
   if (!udp.valid() || !set_nonblocking(udp.get())) {
     result.error = "udp socket setup failed";
@@ -251,7 +290,7 @@ SenderResult send_object(const SenderOptions& options, std::span<const std::uint
 
   fobs::core::SenderCore core(spec, options.core);
   std::vector<std::uint8_t> packet(kDataHeaderSize +
-                                   static_cast<std::size_t>(options.packet_bytes));
+                                   static_cast<std::size_t>(options.endpoint.packet_bytes));
   std::uint8_t ack_buf[64 * 1024];
 
   Fd control;
@@ -265,15 +304,28 @@ SenderResult send_object(const SenderOptions& options, std::span<const std::uint
   std::uint32_t ack_epoch = 0;
   bool epoch_filtering = false;
   const auto start = Clock::now();
-  StallClock stall(start, options.timeout_ms, options.stall_intervals);
-  core.set_tracer(options.tracer);
-  begin_trace(options.tracer, start, spec.packet_count());
+  StallClock stall(start, options.endpoint.timeout_ms, options.endpoint.stall_intervals);
+  fobs::telemetry::EventTracer* tracer = options.endpoint.tracer;
+  core.set_tracer(tracer);
+  begin_trace(tracer, start, spec.packet_count());
   auto& metrics = telemetry::MetricsRegistry::global();
   metrics.counter("fobs.posix.sender.transfers").inc();
+  result.status = TransferStatus::kRunning;
 
   while (!core.completion_received()) {
+    if (cancel_requested(cancel)) {
+      result.status = TransferStatus::kCancelled;
+      result.error = "cancelled";
+      break;
+    }
     if (stall.expired(core)) {
-      result.error = "timeout";
+      // Zero progress ever means the peer never showed up (a plain
+      // timeout); progress that then stopped for the whole budget is a
+      // stall — callers may want to treat those very differently.
+      const bool progressed = control_ever_connected || core.stats().packets_acked > 0;
+      result.status = progressed ? TransferStatus::kStalled : TransferStatus::kTimeout;
+      result.error = progressed ? "stalled: no progress for the whole stall budget"
+                                : "timeout";
       metrics.counter("fobs.fault.stalls").inc();
       break;
     }
@@ -290,8 +342,8 @@ SenderResult send_object(const SenderOptions& options, std::span<const std::uint
         if (control_ever_connected) {
           ++result.reconnects;
           metrics.counter("fobs.fault.reconnects").inc();
-          if (options.tracer != nullptr) {
-            options.tracer->record(telemetry::EventType::kReconnect, -1, result.reconnects);
+          if (tracer != nullptr) {
+            tracer->record(telemetry::EventType::kReconnect, -1, result.reconnects);
           }
           // The peer's state is unknown (possibly a from-scratch
           // restart): drop the ACK view so everything is resent unless
@@ -369,9 +421,8 @@ SenderResult send_object(const SenderOptions& options, std::span<const std::uint
       } else {
         ++result.corrupt_acks_dropped;
         metrics.counter("fobs.fault.corrupt_drops").inc();
-        if (options.tracer != nullptr) {
-          options.tracer->record(telemetry::EventType::kCorruptDrop, -1,
-                                 result.corrupt_acks_dropped);
+        if (tracer != nullptr) {
+          tracer->record(telemetry::EventType::kCorruptDrop, -1, result.corrupt_acks_dropped);
         }
       }
     }
@@ -388,6 +439,7 @@ SenderResult send_object(const SenderOptions& options, std::span<const std::uint
     int sent_in_batch = 0;
     for (int i = 0; i < batch && !core.all_acked(); ++i) {
       if (faults && faults->crash_due()) {
+        result.status = TransferStatus::kCrashed;
         result.error = "injected crash";
         break;
       }
@@ -426,6 +478,7 @@ SenderResult send_object(const SenderOptions& options, std::span<const std::uint
             ::poll(&pfd, 1, 10);
             continue;
           }
+          result.status = TransferStatus::kSocketError;
           result.error = std::string("sendto failed: ") + std::strerror(errno);
           break;
         }
@@ -433,8 +486,8 @@ SenderResult send_object(const SenderOptions& options, std::span<const std::uint
       if (!result.error.empty()) break;
       ++sent_in_batch;
     }
-    if (options.tracer != nullptr && sent_in_batch > 0) {
-      options.tracer->record(telemetry::EventType::kBatchSent, -1, sent_in_batch);
+    if (tracer != nullptr && sent_in_batch > 0) {
+      tracer->record(telemetry::EventType::kBatchSent, -1, sent_in_batch);
     }
     if (!result.error.empty()) break;
 
@@ -445,29 +498,45 @@ SenderResult send_object(const SenderOptions& options, std::span<const std::uint
     }
   }
 
+  // Drain ACK datagrams still queued at exit so the corrupt/stale drop
+  // counters reflect everything that actually arrived. A fast transfer
+  // can complete over the control channel with most ACKs unread; their
+  // classification must not depend on that race.
+  if (core.completion_received()) {
+    ssize_t drain_len = 0;
+    while ((drain_len = ::recv(udp.get(), ack_buf, sizeof ack_buf, MSG_DONTWAIT)) > 0) {
+      if (auto ack = decode_ack(ack_buf, static_cast<std::size_t>(drain_len))) {
+        if (epoch_filtering && ack->epoch != ack_epoch) {
+          ++result.stale_acks_dropped;
+          metrics.counter("fobs.fault.stale_acks").inc();
+        }
+      } else {
+        ++result.corrupt_acks_dropped;
+        metrics.counter("fobs.fault.corrupt_drops").inc();
+        if (tracer != nullptr) {
+          tracer->record(telemetry::EventType::kCorruptDrop, -1, result.corrupt_acks_dropped);
+        }
+      }
+    }
+  }
+
   const double elapsed = std::chrono::duration<double>(Clock::now() - start).count();
-  result.completed = core.completion_received();
   result.elapsed_seconds = elapsed;
   result.packets_sent = core.stats().packets_sent;
   result.waste = core.waste();
-  if (result.completed) {
+  if (core.completion_received()) {
+    result.status = TransferStatus::kCompleted;
     result.goodput_mbps = mbps(spec.object_bytes, elapsed);
     result.error.clear();
-  }
-  end_trace(options.tracer, result.error);
-  if (faults) metrics.counter("fobs.fault.injected").inc(faults->total_injected());
-  metrics.counter("fobs.posix.sender.packets_sent").inc(result.packets_sent);
-  if (result.completed) {
-    metrics.counter("fobs.posix.sender.completed").inc();
     metrics
         .histogram("fobs.posix.sender.elapsed_ms",
                    {1, 10, 100, 1'000, 10'000, 60'000, 600'000})
         .observe(static_cast<std::int64_t>(elapsed * 1e3));
-  } else if (result.error == "timeout") {
-    metrics.counter("fobs.posix.sender.timeouts").inc();
-  } else {
-    metrics.counter("fobs.posix.sender.errors").inc();
   }
+  end_trace(tracer, result.status);
+  if (faults) metrics.counter("fobs.fault.injected").inc(faults->total_injected());
+  metrics.counter("fobs.posix.sender.packets_sent").inc(result.packets_sent);
+  count_outcome(metrics, "sender", result.status);
   return result;
 }
 
@@ -475,13 +544,15 @@ SenderResult send_object(const SenderOptions& options, std::span<const std::uint
 // Receiver
 // ---------------------------------------------------------------------------
 
-ReceiverResult receive_object(const ReceiverOptions& options, std::span<std::uint8_t> buffer) {
+ReceiverResult run_receiver(const ReceiverOptions& options, std::span<std::uint8_t> buffer,
+                            const std::atomic<bool>* cancel) {
   ReceiverResult result;
+  result.status = TransferStatus::kBadOptions;
   if (options.data_port == 0 || options.control_port == 0) {
     result.error = "invalid options: data_port and control_port must be non-zero";
     return result;
   }
-  if (options.packet_bytes <= 0) {
+  if (options.endpoint.packet_bytes <= 0) {
     result.error = "invalid options: packet_bytes must be positive";
     return result;
   }
@@ -490,13 +561,14 @@ ReceiverResult receive_object(const ReceiverOptions& options, std::span<std::uin
     return result;
   }
   fobs::core::TransferSpec spec{static_cast<std::int64_t>(buffer.size()),
-                                options.packet_bytes};
+                                options.endpoint.packet_bytes};
   auto& metrics = telemetry::MetricsRegistry::global();
-  metrics.counter("fobs.posix.receiver.transfers").inc();
 
   std::optional<fobs::net::FaultInjector> faults;
-  if (!resolve_fault_plan(options.fault_plan, faults, result.error)) return result;
+  if (!resolve_fault_plan(options.endpoint.fault_plan, faults, result.error)) return result;
+  metrics.counter("fobs.posix.receiver.transfers").inc();
 
+  result.status = TransferStatus::kSocketError;
   Fd udp(::socket(AF_INET, SOCK_DGRAM, 0));
   if (!udp.valid() || !set_nonblocking(udp.get())) {
     result.error = "udp socket setup failed";
@@ -509,15 +581,18 @@ ReceiverResult receive_object(const ReceiverOptions& options, std::span<std::uin
   sockaddr_in bind_addr = make_addr("0.0.0.0", options.data_port);
   if (::bind(udp.get(), reinterpret_cast<sockaddr*>(&bind_addr), sizeof bind_addr) != 0) {
     result.error = "udp bind failed";
+    count_outcome(metrics, "receiver", result.status);
     return result;
   }
 
   const auto start = Clock::now();
-  const auto deadline = start + std::chrono::milliseconds(options.timeout_ms);
-  begin_trace(options.tracer, start, spec.packet_count());
+  const auto deadline = start + std::chrono::milliseconds(options.endpoint.timeout_ms);
+  fobs::telemetry::EventTracer* tracer = options.endpoint.tracer;
+  begin_trace(tracer, start, spec.packet_count());
 
   fobs::core::ReceiverCore core(spec, options.core);
-  core.set_tracer(options.tracer);
+  core.set_tracer(tracer);
+  result.status = TransferStatus::kRunning;
 
   // Resume: pre-seed the bitmap from a compatible checkpoint. The data
   // bytes themselves must already be in `buffer` (the caller persisted
@@ -554,11 +629,17 @@ ReceiverResult receive_object(const ReceiverOptions& options, std::span<std::uin
 
   // Control channel: connect with capped exponential backoff (the
   // sender may not be up yet, or we may be a restarted incarnation).
-  Fd control = connect_control(options.sender_host, options.control_port, deadline);
+  Fd control = connect_control(options.sender_host, options.control_port, deadline, cancel);
   if (!control.valid()) {
-    result.error = "control connect timeout";
-    end_trace(options.tracer, result.error);
-    metrics.counter("fobs.posix.receiver.timeouts").inc();
+    if (cancel_requested(cancel)) {
+      result.status = TransferStatus::kCancelled;
+      result.error = "cancelled";
+    } else {
+      result.status = TransferStatus::kPeerLost;
+      result.error = "control connect timeout";
+    }
+    end_trace(tracer, result.status);
+    count_outcome(metrics, "receiver", result.status);
     return result;
   }
   if (!send_all(control.get(), hello, sizeof hello, deadline)) {
@@ -576,25 +657,34 @@ ReceiverResult receive_object(const ReceiverOptions& options, std::span<std::uin
   }
 
   std::vector<std::uint8_t> datagram(kDataHeaderSize +
-                                     static_cast<std::size_t>(options.packet_bytes));
+                                     static_cast<std::size_t>(options.endpoint.packet_bytes));
   sockaddr_in from{};
   socklen_t sender_addr_len = 0;
   sockaddr_in sender_addr{};  // learned from the first *valid* data packet
   // The stall budget measures the data-transfer phase only: a slow
   // control connect must not be double-counted as empty stall intervals
   // the moment data starts flowing.
-  StallClock stall(Clock::now(), options.timeout_ms, options.stall_intervals);
+  StallClock stall(Clock::now(), options.endpoint.timeout_ms, options.endpoint.stall_intervals);
   int acks_since_checkpoint = 0;
 
   while (!core.complete()) {
+    if (cancel_requested(cancel)) {
+      result.status = TransferStatus::kCancelled;
+      result.error = "cancelled";
+      break;
+    }
     if (stall.expired(core)) {
-      result.error = "timeout";
+      const bool progressed = core.stats().packets_received > 0;
+      result.status = progressed ? TransferStatus::kStalled : TransferStatus::kTimeout;
+      result.error = progressed ? "stalled: no progress for the whole stall budget"
+                                : "timeout";
       metrics.counter("fobs.fault.stalls").inc();
       break;
     }
     if (faults && faults->crash_due()) {
       // Simulated kill -9: abandon the transfer without cleanup. Any
       // checkpoint written so far stays behind for the next incarnation.
+      result.status = TransferStatus::kCrashed;
       result.error = "injected crash";
       break;
     }
@@ -607,6 +697,7 @@ ReceiverResult receive_object(const ReceiverOptions& options, std::span<std::uin
         ::poll(&pfd, 1, 10);
         continue;
       }
+      result.status = TransferStatus::kSocketError;
       result.error = std::string("recvfrom failed: ") + std::strerror(errno);
       break;
     }
@@ -620,9 +711,9 @@ ReceiverResult receive_object(const ReceiverOptions& options, std::span<std::uin
       // object buffer; the greedy sender will resend it.
       ++result.corrupt_packets_dropped;
       metrics.counter("fobs.fault.corrupt_drops").inc();
-      if (options.tracer != nullptr) {
-        options.tracer->record(telemetry::EventType::kCorruptDrop, header->seq,
-                               result.corrupt_packets_dropped);
+      if (tracer != nullptr) {
+        tracer->record(telemetry::EventType::kCorruptDrop, header->seq,
+                       result.corrupt_packets_dropped);
       }
       continue;
     }
@@ -639,9 +730,9 @@ ReceiverResult receive_object(const ReceiverOptions& options, std::span<std::uin
         case fobs::net::FaultAction::kCorrupt: {
           ++result.corrupt_packets_dropped;
           metrics.counter("fobs.fault.corrupt_drops").inc();
-          if (options.tracer != nullptr) {
-            options.tracer->record(telemetry::EventType::kCorruptDrop, header->seq,
-                                   result.corrupt_packets_dropped);
+          if (tracer != nullptr) {
+            tracer->record(telemetry::EventType::kCorruptDrop, header->seq,
+                           result.corrupt_packets_dropped);
           }
           continue;
         }
@@ -674,10 +765,10 @@ ReceiverResult receive_object(const ReceiverOptions& options, std::span<std::uin
         ::sendto(udp.get(), ack.data(), ack.size(), 0,
                  reinterpret_cast<sockaddr*>(&sender_addr), sender_addr_len);
       }
-      if (options.tracer != nullptr) {
-        options.tracer->record(telemetry::EventType::kAckSent,
-                               static_cast<std::int64_t>(msg.ack_no),
-                               static_cast<std::int64_t>(ack.size()));
+      if (tracer != nullptr) {
+        tracer->record(telemetry::EventType::kAckSent,
+                       static_cast<std::int64_t>(msg.ack_no),
+                       static_cast<std::int64_t>(ack.size()));
       }
       if (!options.checkpoint_path.empty() &&
           ++acks_since_checkpoint >= std::max(1, options.checkpoint_every_acks)) {
@@ -703,12 +794,12 @@ ReceiverResult receive_object(const ReceiverOptions& options, std::span<std::uin
                                                  token_deadline);
     for (int attempt = 0; !delivered && attempt < 3; ++attempt) {
       control = connect_control(options.sender_host, options.control_port,
-                                Clock::now() + std::chrono::seconds(1));
+                                Clock::now() + std::chrono::seconds(1), cancel);
       if (!control.valid()) continue;
       ++result.reconnects;
       metrics.counter("fobs.fault.reconnects").inc();
-      if (options.tracer != nullptr) {
-        options.tracer->record(telemetry::EventType::kReconnect, -1, result.reconnects);
+      if (tracer != nullptr) {
+        tracer->record(telemetry::EventType::kReconnect, -1, result.reconnects);
       }
       // Hello first, as on every control connection.
       delivered = send_all(control.get(), hello, sizeof hello,
@@ -716,26 +807,23 @@ ReceiverResult receive_object(const ReceiverOptions& options, std::span<std::uin
                   send_all(control.get(), token, sizeof token,
                            Clock::now() + std::chrono::seconds(1));
     }
-    result.completed = true;
+    result.status = TransferStatus::kCompleted;
+    result.error.clear();
     if (!options.checkpoint_path.empty()) remove_checkpoint(options.checkpoint_path);
   }
   const double elapsed = std::chrono::duration<double>(Clock::now() - start).count();
   result.elapsed_seconds = elapsed;
   result.packets_received = core.stats().packets_received;
   result.duplicates = core.stats().duplicates;
-  if (result.completed) result.goodput_mbps = mbps(spec.object_bytes, elapsed);
-  end_trace(options.tracer, result.completed ? std::string() : result.error);
+  if (result.completed()) result.goodput_mbps = mbps(spec.object_bytes, elapsed);
+  end_trace(tracer, result.status);
   if (faults) metrics.counter("fobs.fault.injected").inc(faults->total_injected());
   metrics.counter("fobs.posix.receiver.packets_received").inc(result.packets_received);
   metrics.counter("fobs.posix.receiver.duplicates").inc(result.duplicates);
-  if (result.completed) {
-    metrics.counter("fobs.posix.receiver.completed").inc();
-  } else if (result.error == "timeout") {
-    metrics.counter("fobs.posix.receiver.timeouts").inc();
-  } else {
-    metrics.counter("fobs.posix.receiver.errors").inc();
-  }
+  count_outcome(metrics, "receiver", result.status);
   return result;
 }
+
+}  // namespace detail
 
 }  // namespace fobs::posix

@@ -8,18 +8,28 @@
 // needed); a TCP connection from receiver to sender delivers the
 // "all data received" signal.
 //
-// Both calls are blocking; run them in two threads (see
-// examples/file_transfer.cpp) or two processes.
+// Two surfaces exist:
+//   * the session engine (fobs/posix/engine.h) — N concurrent
+//     transfers on a worker pool, each addressable through a
+//     TransferHandle (wait/status/cancel);
+//   * the blocking free functions below — thin wrappers over a
+//     one-session engine, kept for callers that want exactly one
+//     transfer and are happy to block for it.
+//
+// Results carry a TransferStatus (see fobs/posix/options.h); `error`
+// is only the human-readable detail and `completed()` is derived from
+// the status, so callers never classify outcomes by string matching.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <string>
 
+#include "fobs/posix/options.h"
 #include "fobs/receiver_core.h"
 #include "fobs/sender_core.h"
 #include "net/faults.h"
-#include "telemetry/trace.h"
 
 namespace fobs::posix {
 
@@ -27,28 +37,17 @@ struct SenderOptions {
   std::string receiver_host = "127.0.0.1";
   std::uint16_t data_port = 0;     ///< receiver's UDP port (required)
   std::uint16_t control_port = 0;  ///< sender's TCP listen port (required)
-  std::int64_t packet_bytes = 1024;
   fobs::core::SenderConfig core;
-  /// Progress-based give-up: the transfer is abandoned only after
-  /// `stall_intervals` consecutive intervals of `timeout_ms /
-  /// stall_intervals` each with zero protocol progress. A transfer that
-  /// never progresses still dies after ~`timeout_ms`; one that keeps
-  /// moving is never killed by the clock alone.
-  int timeout_ms = 60'000;
-  int stall_intervals = 8;
   /// SO_SNDBUF request (0 = system default).
   int send_buffer_bytes = 1 << 20;
-  /// Fault-injection plan (grammar in docs/ROBUSTNESS.md). Empty means
-  /// "use the FOBS_FAULT_PLAN environment variable, if set".
-  std::string fault_plan;
-  /// Optional event tracer (must outlive the call). send_object installs
-  /// a steady clock (ns since call start) and records transfer_start,
-  /// batch, ACK, completion, and timeout/error events on it.
-  fobs::telemetry::EventTracer* tracer = nullptr;
+  /// Knobs shared with the receive side (packet size, stall budget,
+  /// fault plan, tracer).
+  EndpointOptions endpoint;
 };
 
 struct SenderResult {
-  bool completed = false;
+  TransferStatus status = TransferStatus::kPending;
+  std::string error;  ///< human-readable detail; empty on success
   double elapsed_seconds = 0.0;
   std::int64_t packets_sent = 0;
   std::int64_t packets_needed = 0;
@@ -62,27 +61,22 @@ struct SenderResult {
   /// Control-channel connections accepted after the first one (a
   /// restarted receiver reconnecting).
   int reconnects = 0;
-  std::string error;  ///< empty on success
+
+  [[nodiscard]] bool completed() const { return status == TransferStatus::kCompleted; }
 };
 
 /// Sends `object` to a receive_object() peer. Blocks until the
-/// completion signal arrives or the timeout expires.
+/// completion signal arrives or the stall budget expires.
 SenderResult send_object(const SenderOptions& options, std::span<const std::uint8_t> object);
 
 struct ReceiverOptions {
   std::string sender_host = "127.0.0.1";
   std::uint16_t data_port = 0;     ///< local UDP port to bind (required)
   std::uint16_t control_port = 0;  ///< sender's TCP port (required)
-  std::int64_t packet_bytes = 1024;
   fobs::core::ReceiverConfig core;
-  /// Progress-based give-up; see SenderOptions::timeout_ms.
-  int timeout_ms = 60'000;
-  int stall_intervals = 8;
   /// SO_RCVBUF request (0 = system default). This is the buffer whose
   /// overflow during ACK construction the paper's Figure 1 studies.
   int recv_buffer_bytes = 1 << 20;
-  /// Fault-injection plan; see SenderOptions::fault_plan.
-  std::string fault_plan;
   /// When non-empty, the receiver's bitmap is persisted here every
   /// `checkpoint_every_acks` acknowledgements, an existing compatible
   /// checkpoint is loaded on start (the caller must supply the same
@@ -95,12 +89,13 @@ struct ReceiverOptions {
   /// control channel so already-received packets are not re-sent.
   std::string checkpoint_path;
   int checkpoint_every_acks = 16;
-  /// Optional event tracer, as in SenderOptions.
-  fobs::telemetry::EventTracer* tracer = nullptr;
+  /// Knobs shared with the send side.
+  EndpointOptions endpoint;
 };
 
 struct ReceiverResult {
-  bool completed = false;
+  TransferStatus status = TransferStatus::kPending;
+  std::string error;  ///< human-readable detail; empty on success
   double elapsed_seconds = 0.0;
   std::int64_t packets_received = 0;
   std::int64_t duplicates = 0;
@@ -111,10 +106,24 @@ struct ReceiverResult {
   std::int64_t packets_restored = 0;
   /// Control-channel reconnects performed after losing the connection.
   int reconnects = 0;
-  std::string error;
+
+  [[nodiscard]] bool completed() const { return status == TransferStatus::kCompleted; }
 };
 
 /// Receives an object of exactly `buffer.size()` bytes into `buffer`.
 ReceiverResult receive_object(const ReceiverOptions& options, std::span<std::uint8_t> buffer);
+
+namespace detail {
+
+/// The actual blocking transfer loops. `cancel` (nullable) is polled
+/// once per loop iteration; setting it makes the loop exit with
+/// TransferStatus::kCancelled. The engine runs these on its workers;
+/// the public free functions reach them through a one-session engine.
+SenderResult run_sender(const SenderOptions& options, std::span<const std::uint8_t> object,
+                        const std::atomic<bool>* cancel);
+ReceiverResult run_receiver(const ReceiverOptions& options, std::span<std::uint8_t> buffer,
+                            const std::atomic<bool>* cancel);
+
+}  // namespace detail
 
 }  // namespace fobs::posix

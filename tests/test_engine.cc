@@ -1,0 +1,259 @@
+// TransferEngine: many concurrent FOBS sessions in one process. The
+// heart of the suite is the isolation test — three simultaneous
+// transfers of different sizes (one under fault injection), all
+// byte-identical, with per-session traces and results that never bleed
+// into each other. Plus handle lifecycle (wait/status/cancel), the
+// control-port allocator, and engine counters.
+//
+// Port block: 37000-37099 (keep clear of 36xxx = test_fobs_posix /
+// test_telemetry and 38xxx = test_fault_posix).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "fobs/posix/engine.h"
+#include "fobs/sim_transfer.h"
+#include "telemetry/trace.h"
+
+namespace fobs {
+namespace {
+
+std::uint16_t port_base(int offset) { return static_cast<std::uint16_t>(37000 + offset); }
+
+// ---------------------------------------------------------------------------
+// Satellite: >= 3 simultaneous transfers, isolated per-session state
+// ---------------------------------------------------------------------------
+
+TEST(EngineConcurrency, ThreeSimultaneousTransfersAreByteIdenticalAndIsolated) {
+  // Three pairs, mixed sizes, the middle one under 2% data corruption.
+  // Six sessions run at once on one engine; every sink must match its
+  // object and only the faulted pair may report corrupt drops.
+  const std::vector<std::int64_t> sizes = {256 * 1024, 1024 * 1024 + 13, 512 * 1024};
+  std::vector<std::vector<std::uint8_t>> objects;
+  std::vector<std::vector<std::uint8_t>> sinks;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    objects.push_back(core::make_pattern(sizes[i], 0xE61 + static_cast<int>(i)));
+    sinks.emplace_back(objects.back().size(), 0);
+  }
+
+  posix::TransferEngine engine({.workers = 6, .session_tracers = true});
+  std::vector<posix::TransferHandle> rx;
+  std::vector<posix::TransferHandle> tx;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    posix::ReceiverOptions ropt;
+    ropt.data_port = port_base(static_cast<int>(2 * i));
+    ropt.control_port = port_base(static_cast<int>(2 * i + 1));
+    ropt.core.ack_frequency = 16;
+    ropt.endpoint.timeout_ms = 30'000;
+    posix::SenderOptions sopt;
+    sopt.data_port = ropt.data_port;
+    sopt.control_port = ropt.control_port;
+    sopt.endpoint.timeout_ms = 30'000;
+    if (i == 1) sopt.endpoint.fault_plan = "seed=7;data.corrupt=0.02";
+    rx.push_back(engine.submit_receive(ropt, std::span<std::uint8_t>(sinks[i])));
+    tx.push_back(engine.submit_send(sopt, std::span<const std::uint8_t>(objects[i])));
+  }
+  ASSERT_EQ(engine.sessions_submitted(), 2 * sizes.size());
+
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_EQ(rx[i].wait(), posix::TransferStatus::kCompleted)
+        << "receiver " << i << ": " << rx[i].receiver_result().error;
+    EXPECT_EQ(tx[i].wait(), posix::TransferStatus::kCompleted)
+        << "sender " << i << ": " << tx[i].sender_result().error;
+    EXPECT_EQ(sinks[i], objects[i]) << "pair " << i << " not byte-identical";
+  }
+  engine.wait_idle();
+  EXPECT_EQ(engine.active_sessions(), 0u);
+  EXPECT_EQ(engine.sessions_completed(), 2 * sizes.size());
+  EXPECT_EQ(engine.sessions_failed(), 0u);
+
+  // Result isolation: only the faulted pair saw corruption.
+  EXPECT_GT(rx[1].receiver_result().corrupt_packets_dropped, 0);
+  EXPECT_EQ(rx[0].receiver_result().corrupt_packets_dropped, 0);
+  EXPECT_EQ(rx[2].receiver_result().corrupt_packets_dropped, 0);
+  // Per-pair packet counts reflect each pair's own object, not a shared
+  // tally.
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_EQ(rx[i].receiver_result().packets_received, (sizes[i] + 1023) / 1024)
+        << "pair " << i;
+  }
+
+  // Trace isolation: six distinct engine-owned tracers, each telling
+  // exactly one session's story.
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    ASSERT_NE(rx[i].tracer(), nullptr);
+    ASSERT_NE(tx[i].tracer(), nullptr);
+    EXPECT_NE(rx[i].tracer(), tx[i].tracer());
+    EXPECT_EQ(rx[i].tracer()->count(telemetry::EventType::kTransferStart), 1);
+    EXPECT_EQ(tx[i].tracer()->count(telemetry::EventType::kTransferStart), 1);
+    EXPECT_GE(rx[i].tracer()->count(telemetry::EventType::kCompletion), 1);
+    EXPECT_EQ(rx[i].tracer()->count(telemetry::EventType::kTimeout), 0);
+  }
+  EXPECT_NE(rx[0].tracer(), rx[1].tracer());
+  EXPECT_NE(rx[1].tracer(), rx[2].tracer());
+}
+
+// ---------------------------------------------------------------------------
+// Handle lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(EngineHandle, IdsAreUniqueAndStatusTurnsTerminal) {
+  const auto object = core::make_pattern(64 * 1024, 0x1D5);
+  std::vector<std::uint8_t> sink(object.size(), 0);
+
+  posix::ReceiverOptions ropt;
+  ropt.data_port = port_base(20);
+  ropt.control_port = port_base(21);
+  ropt.endpoint.timeout_ms = 30'000;
+  posix::SenderOptions sopt;
+  sopt.data_port = ropt.data_port;
+  sopt.control_port = ropt.control_port;
+  sopt.endpoint.timeout_ms = 30'000;
+
+  posix::TransferEngine engine({.workers = 2});
+  auto rx = engine.submit_receive(ropt, std::span<std::uint8_t>(sink));
+  auto tx = engine.submit_send(sopt, std::span<const std::uint8_t>(object));
+  ASSERT_TRUE(rx.valid());
+  ASSERT_TRUE(tx.valid());
+  EXPECT_NE(rx.id(), tx.id());
+  EXPECT_FALSE(rx.is_sender());
+  EXPECT_TRUE(tx.is_sender());
+
+  EXPECT_TRUE(rx.wait_for(std::chrono::milliseconds(30'000)));
+  EXPECT_EQ(tx.wait(), posix::TransferStatus::kCompleted);
+  EXPECT_TRUE(rx.done());
+  EXPECT_TRUE(tx.done());
+  EXPECT_TRUE(tx.sender_result().completed());
+  EXPECT_TRUE(rx.receiver_result().completed());
+  EXPECT_EQ(sink, object);
+  // Results outlive the engine through the handle.
+  EXPECT_EQ(to_string(rx.status()), std::string("completed"));
+}
+
+TEST(EngineHandle, CancelStopsAWaitingSession) {
+  // A receiver with no sender would otherwise wait out its full
+  // 30-second timeout; cancel() must end it promptly.
+  std::vector<std::uint8_t> sink(64 * 1024, 0);
+  posix::ReceiverOptions ropt;
+  ropt.data_port = port_base(24);
+  ropt.control_port = port_base(25);
+  ropt.endpoint.timeout_ms = 30'000;
+
+  posix::TransferEngine engine({.workers = 1});
+  auto handle = engine.submit_receive(ropt, std::span<std::uint8_t>(sink));
+  const auto start = std::chrono::steady_clock::now();
+  // Let the session actually start before cancelling it.
+  while (handle.status() == posix::TransferStatus::kPending &&
+         std::chrono::steady_clock::now() - start < std::chrono::seconds(5)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  handle.cancel();
+  const auto status = handle.wait();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_EQ(status, posix::TransferStatus::kCancelled);
+  EXPECT_FALSE(handle.receiver_result().completed());
+  EXPECT_LT(elapsed, 10'000) << "cancel should not wait out the 30 s timeout";
+}
+
+TEST(EngineHandle, BadOptionsSessionTurnsTerminalWithBadOptions) {
+  std::vector<std::uint8_t> sink(1024, 0);
+  posix::TransferEngine engine({.workers = 1});
+  auto handle = engine.submit_receive(posix::ReceiverOptions{},  // no ports
+                                      std::span<std::uint8_t>(sink));
+  EXPECT_EQ(handle.wait(), posix::TransferStatus::kBadOptions);
+  EXPECT_FALSE(handle.receiver_result().error.empty());
+  engine.wait_idle();
+  EXPECT_EQ(engine.sessions_failed(), 1u);
+  EXPECT_EQ(engine.sessions_completed(), 0u);
+}
+
+TEST(EngineLifecycle, DestructorCancelsLiveSessions) {
+  // An engine with a stuck session must tear down promptly instead of
+  // waiting out the session's timeout.
+  std::vector<std::uint8_t> sink(64 * 1024, 0);
+  posix::ReceiverOptions ropt;
+  ropt.data_port = port_base(28);
+  ropt.control_port = port_base(29);
+  ropt.endpoint.timeout_ms = 30'000;
+
+  posix::TransferHandle handle;
+  const auto start = std::chrono::steady_clock::now();
+  {
+    posix::TransferEngine engine({.workers = 1});
+    handle = engine.submit_receive(ropt, std::span<std::uint8_t>(sink));
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_TRUE(handle.done());
+  EXPECT_EQ(handle.status(), posix::TransferStatus::kCancelled);
+  EXPECT_LT(elapsed, 10'000);
+}
+
+// ---------------------------------------------------------------------------
+// Control-port allocator
+// ---------------------------------------------------------------------------
+
+TEST(EnginePorts, AllocateReleaseAndExhaust) {
+  posix::TransferEngine engine(
+      {.workers = 1, .control_port_base = port_base(40), .control_port_count = 3});
+  EXPECT_EQ(engine.free_control_ports(), 3u);
+
+  const auto a = engine.allocate_control_port();
+  const auto b = engine.allocate_control_port();
+  const auto c = engine.allocate_control_port();
+  ASSERT_TRUE(a && b && c);
+  EXPECT_EQ(engine.free_control_ports(), 0u);
+  // Distinct ports, all inside the configured range.
+  EXPECT_NE(*a, *b);
+  EXPECT_NE(*b, *c);
+  EXPECT_NE(*a, *c);
+  for (const auto port : {*a, *b, *c}) {
+    EXPECT_GE(port, port_base(40));
+    EXPECT_LT(port, port_base(43));
+  }
+  // Exhausted: the allocator sheds instead of inventing ports.
+  EXPECT_FALSE(engine.allocate_control_port().has_value());
+
+  engine.release_control_port(*b);
+  EXPECT_EQ(engine.free_control_ports(), 1u);
+  const auto again = engine.allocate_control_port();
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, *b);
+}
+
+TEST(EnginePorts, DisabledAllocatorAlwaysRefuses) {
+  posix::TransferEngine engine({.workers = 1});
+  EXPECT_EQ(engine.free_control_ports(), 0u);
+  EXPECT_FALSE(engine.allocate_control_port().has_value());
+}
+
+TEST(EnginePorts, OwnedPortIsReleasedWhenSessionEnds) {
+  posix::TransferEngine engine(
+      {.workers = 1, .control_port_base = port_base(44), .control_port_count = 1});
+  const auto port = engine.allocate_control_port();
+  ASSERT_TRUE(port.has_value());
+  EXPECT_EQ(engine.free_control_ports(), 0u);
+
+  // The session fails instantly (bad options) — but its owned port must
+  // still flow back to the allocator.
+  std::vector<std::uint8_t> sink(1024, 0);
+  posix::SessionParams params;
+  params.owned_control_port = *port;
+  auto handle =
+      engine.submit_receive(posix::ReceiverOptions{}, std::span<std::uint8_t>(sink),
+                            std::move(params));
+  handle.wait();
+  engine.wait_idle();
+  EXPECT_EQ(engine.free_control_ports(), 1u);
+}
+
+}  // namespace
+}  // namespace fobs

@@ -41,22 +41,23 @@ TEST(FaultPosixValidation, SenderRejectsBadOptions) {
 
   posix::SenderOptions no_ports;
   auto result = posix::send_object(no_ports, object);
-  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.status, posix::TransferStatus::kBadOptions);
+  EXPECT_FALSE(result.completed());
   EXPECT_NE(result.error.find("data_port"), std::string::npos) << result.error;
 
   posix::SenderOptions bad_packet;
   bad_packet.data_port = port_base(0);
   bad_packet.control_port = port_base(1);
-  bad_packet.packet_bytes = 0;
+  bad_packet.endpoint.packet_bytes = 0;
   result = posix::send_object(bad_packet, object);
-  EXPECT_FALSE(result.completed);
+  EXPECT_FALSE(result.completed());
   EXPECT_NE(result.error.find("packet_bytes"), std::string::npos) << result.error;
 
   posix::SenderOptions empty_object;
   empty_object.data_port = port_base(0);
   empty_object.control_port = port_base(1);
   result = posix::send_object(empty_object, {});
-  EXPECT_FALSE(result.completed);
+  EXPECT_FALSE(result.completed());
   EXPECT_NE(result.error.find("empty object"), std::string::npos) << result.error;
 }
 
@@ -65,22 +66,23 @@ TEST(FaultPosixValidation, ReceiverRejectsBadOptions) {
 
   posix::ReceiverOptions no_ports;
   auto result = posix::receive_object(no_ports, sink);
-  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.status, posix::TransferStatus::kBadOptions);
+  EXPECT_FALSE(result.completed());
   EXPECT_NE(result.error.find("data_port"), std::string::npos) << result.error;
 
   posix::ReceiverOptions bad_packet;
   bad_packet.data_port = port_base(2);
   bad_packet.control_port = port_base(3);
-  bad_packet.packet_bytes = -5;
+  bad_packet.endpoint.packet_bytes = -5;
   result = posix::receive_object(bad_packet, sink);
-  EXPECT_FALSE(result.completed);
+  EXPECT_FALSE(result.completed());
   EXPECT_NE(result.error.find("packet_bytes"), std::string::npos) << result.error;
 
   posix::ReceiverOptions empty_buffer;
   empty_buffer.data_port = port_base(2);
   empty_buffer.control_port = port_base(3);
   result = posix::receive_object(empty_buffer, {});
-  EXPECT_FALSE(result.completed);
+  EXPECT_FALSE(result.completed());
   EXPECT_NE(result.error.find("empty buffer"), std::string::npos) << result.error;
 }
 
@@ -89,9 +91,10 @@ TEST(FaultPosixValidation, MalformedFaultPlanIsReportedNotIgnored) {
   posix::SenderOptions options;
   options.data_port = port_base(4);
   options.control_port = port_base(5);
-  options.fault_plan = "data.corrupt=2.0";
+  options.endpoint.fault_plan = "data.corrupt=2.0";
   const auto result = posix::send_object(options, object);
-  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.status, posix::TransferStatus::kBadOptions);
+  EXPECT_FALSE(result.completed());
   EXPECT_NE(result.error.find("invalid fault plan"), std::string::npos) << result.error;
 }
 
@@ -108,19 +111,20 @@ TEST(FaultPosixStall, SenderGivesUpAfterEmptyIntervalsWithStallTrace) {
   posix::SenderOptions options;
   options.data_port = port_base(6);
   options.control_port = port_base(7);
-  options.timeout_ms = 1'000;
-  options.stall_intervals = 4;
-  options.tracer = &trace;
+  options.endpoint.timeout_ms = 1'000;
+  options.endpoint.stall_intervals = 4;
+  options.endpoint.tracer = &trace;
 
   const auto start = std::chrono::steady_clock::now();
   const auto result = posix::send_object(options, object);
   const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
                            std::chrono::steady_clock::now() - start)
                            .count();
-  EXPECT_FALSE(result.completed);
+  EXPECT_FALSE(result.completed());
+  EXPECT_EQ(result.status, posix::TransferStatus::kTimeout);
   EXPECT_EQ(result.error, "timeout");
-  EXPECT_LT(elapsed, options.timeout_ms + 5'000);
-  EXPECT_EQ(trace.count(telemetry::EventType::kStall), options.stall_intervals);
+  EXPECT_LT(elapsed, options.endpoint.timeout_ms + 5'000);
+  EXPECT_EQ(trace.count(telemetry::EventType::kStall), options.endpoint.stall_intervals);
   const auto events = trace.snapshot();
   ASSERT_GE(events.size(), 2u);
   EXPECT_EQ(events[events.size() - 2].type, telemetry::EventType::kStall);
@@ -160,19 +164,19 @@ TEST(FaultPosixGarbage, TransferSurvivesGarbageDatagramsAndCorruptAcks) {
   posix::ReceiverOptions recv_opts;
   recv_opts.data_port = port_base(10);
   recv_opts.control_port = port_base(11);
-  recv_opts.packet_bytes = packet_bytes;
+  recv_opts.endpoint.packet_bytes = packet_bytes;
   recv_opts.core.ack_frequency = 4;
-  recv_opts.timeout_ms = 30'000;
+  recv_opts.endpoint.timeout_ms = 30'000;
   // Most outgoing ACKs are corrupted in flight: the sender's decoder
   // must reject and count them while the transfer still completes off
   // the clean minority plus the completion token.
-  recv_opts.fault_plan = "seed=3;ack.corrupt=0.9";
+  recv_opts.endpoint.fault_plan = "seed=3;ack.corrupt=0.9";
 
   posix::SenderOptions send_opts;
   send_opts.data_port = recv_opts.data_port;
   send_opts.control_port = recv_opts.control_port;
-  send_opts.packet_bytes = packet_bytes;
-  send_opts.timeout_ms = 30'000;
+  send_opts.endpoint.packet_bytes = packet_bytes;
+  send_opts.endpoint.timeout_ms = 30'000;
 
   // A hostile neighbour sprays junk at the receiver's data port for the
   // whole transfer: random blobs, wrong-magic headers, truncated
@@ -207,8 +211,8 @@ TEST(FaultPosixGarbage, TransferSurvivesGarbageDatagramsAndCorruptAcks) {
   stop.store(true);
   garbage_thread.join();
 
-  ASSERT_TRUE(pair.receiver.completed) << pair.receiver.error;
-  ASSERT_TRUE(pair.sender.completed) << pair.sender.error;
+  ASSERT_TRUE(pair.receiver.completed()) << pair.receiver.error;
+  ASSERT_TRUE(pair.sender.completed()) << pair.sender.error;
   EXPECT_EQ(sink, object);  // garbage never landed in the object
   // The corrupted ACKs were seen and rejected, not silently accepted.
   EXPECT_GT(pair.sender.corrupt_acks_dropped, 0);
@@ -222,18 +226,18 @@ TEST(FaultPosixGarbage, CorruptedDataPacketsAreRejectedAndResent) {
   recv_opts.data_port = port_base(12);
   recv_opts.control_port = port_base(13);
   recv_opts.core.ack_frequency = 16;
-  recv_opts.timeout_ms = 30'000;
+  recv_opts.endpoint.timeout_ms = 30'000;
 
   posix::SenderOptions send_opts;
   send_opts.data_port = recv_opts.data_port;
   send_opts.control_port = recv_opts.control_port;
-  send_opts.timeout_ms = 30'000;
+  send_opts.endpoint.timeout_ms = 30'000;
   // 2% of data packets are corrupted after the checksum is computed.
-  send_opts.fault_plan = "seed=11;data.corrupt=0.02";
+  send_opts.endpoint.fault_plan = "seed=11;data.corrupt=0.02";
 
   const auto pair = run_pair(send_opts, recv_opts, object, sink);
-  ASSERT_TRUE(pair.receiver.completed) << pair.receiver.error;
-  ASSERT_TRUE(pair.sender.completed) << pair.sender.error;
+  ASSERT_TRUE(pair.receiver.completed()) << pair.receiver.error;
+  ASSERT_TRUE(pair.sender.completed()) << pair.sender.error;
   EXPECT_EQ(sink, object);
   EXPECT_GT(pair.receiver.corrupt_packets_dropped, 0);
   EXPECT_GT(pair.sender.packets_sent, pair.sender.packets_needed);
@@ -261,14 +265,14 @@ TransferPair run_crash_restart(int port_offset, bool resume,
   recv_opts.data_port = port_base(port_offset);
   recv_opts.control_port = port_base(port_offset + 1);
   recv_opts.core.ack_frequency = 16;
-  recv_opts.timeout_ms = 30'000;
+  recv_opts.endpoint.timeout_ms = 30'000;
   recv_opts.checkpoint_path = checkpoint_path;
   recv_opts.checkpoint_every_acks = 4;
 
   posix::SenderOptions send_opts;
   send_opts.data_port = recv_opts.data_port;
   send_opts.control_port = recv_opts.control_port;
-  send_opts.timeout_ms = 30'000;
+  send_opts.endpoint.timeout_ms = 30'000;
 
   TransferPair out;
   std::thread receiver_thread([&] {
@@ -276,7 +280,7 @@ TransferPair run_crash_restart(int port_offset, bool resume,
     // so the checkpointed bitmap is worth far more than the timing
     // noise of the restart window.
     auto crash_opts = recv_opts;
-    crash_opts.fault_plan = "crash=3500";
+    crash_opts.endpoint.fault_plan = "crash=3500";
     const auto crashed = posix::receive_object(crash_opts, sink);
     if (first_incarnation != nullptr) *first_incarnation = crashed;
     if (!resume) posix::remove_checkpoint(checkpoint_path);
@@ -297,9 +301,10 @@ TEST(FaultPosixResume, RestartedReceiverResumesFromCheckpoint) {
   posix::ReceiverResult crashed;
   const auto resumed =
       run_crash_restart(20, /*resume=*/true, object, resumed_sink, &crashed);
+  EXPECT_EQ(crashed.status, posix::TransferStatus::kCrashed);
   EXPECT_EQ(crashed.error, "injected crash");
-  ASSERT_TRUE(resumed.receiver.completed) << resumed.receiver.error;
-  ASSERT_TRUE(resumed.sender.completed) << resumed.sender.error;
+  ASSERT_TRUE(resumed.receiver.completed()) << resumed.receiver.error;
+  ASSERT_TRUE(resumed.sender.completed()) << resumed.sender.error;
   EXPECT_EQ(resumed_sink, object);  // pre-crash bytes + resumed bytes agree
   // The second incarnation really started from the sidecar, and the
   // sender saw the restart as a control-channel reconnect.
@@ -308,8 +313,8 @@ TEST(FaultPosixResume, RestartedReceiverResumesFromCheckpoint) {
 
   // Baseline: same crash, but the restart begins from scratch.
   const auto scratch = run_crash_restart(24, /*resume=*/false, object, scratch_sink);
-  ASSERT_TRUE(scratch.receiver.completed) << scratch.receiver.error;
-  ASSERT_TRUE(scratch.sender.completed) << scratch.sender.error;
+  ASSERT_TRUE(scratch.receiver.completed()) << scratch.receiver.error;
+  ASSERT_TRUE(scratch.sender.completed()) << scratch.sender.error;
   EXPECT_EQ(scratch.receiver.packets_restored, 0);
 
   // The resume handshake let the sender skip every packet the first
@@ -327,17 +332,17 @@ TEST(FaultPosixResume, CheckpointIsRemovedAfterCompletion) {
   recv_opts.data_port = port_base(28);
   recv_opts.control_port = port_base(29);
   recv_opts.core.ack_frequency = 16;
-  recv_opts.timeout_ms = 30'000;
+  recv_opts.endpoint.timeout_ms = 30'000;
   recv_opts.checkpoint_path = checkpoint_path;
   recv_opts.checkpoint_every_acks = 1;
 
   posix::SenderOptions send_opts;
   send_opts.data_port = recv_opts.data_port;
   send_opts.control_port = recv_opts.control_port;
-  send_opts.timeout_ms = 30'000;
+  send_opts.endpoint.timeout_ms = 30'000;
 
   const auto pair = run_pair(send_opts, recv_opts, object, sink);
-  ASSERT_TRUE(pair.receiver.completed) << pair.receiver.error;
+  ASSERT_TRUE(pair.receiver.completed()) << pair.receiver.error;
   EXPECT_EQ(sink, object);
   // A completed transfer leaves no sidecar behind.
   EXPECT_FALSE(posix::load_checkpoint(checkpoint_path).has_value());

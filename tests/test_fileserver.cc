@@ -1,0 +1,205 @@
+// FileServer + fetch_file end-to-end over loopback: the acceptance
+// test for the concurrent fobsd redesign (three overlapping fetches
+// from distinct clients, all byte-identical) plus the catalog-timeout
+// bugfix (a connected-but-silent client can no longer wedge the serve
+// loop) and the refusal paths.
+//
+// Port block: 37100-37199 (test_engine owns 37000-37099).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fobs/object.h"
+#include "fobs/posix/fileserver.h"
+
+namespace fobs {
+namespace {
+
+/// Stages `count` pattern files ("dataset<i>.bin") into a fresh
+/// directory under the test temp dir; returns their checksums.
+std::vector<std::uint64_t> stage_files(const std::string& dir,
+                                       const std::vector<std::int64_t>& sizes) {
+  ::mkdir(dir.c_str(), 0755);
+  std::vector<std::uint64_t> checksums;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    auto object = core::TransferObject::pattern(sizes[i], 0xF11E + static_cast<int>(i));
+    checksums.push_back(object.checksum());
+    EXPECT_TRUE(object.write_to_file(dir + "/dataset" + std::to_string(i) + ".bin"));
+  }
+  return checksums;
+}
+
+/// Opens a TCP connection to 127.0.0.1:`port`; returns the fd or -1.
+int connect_tcp(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: >= 3 overlapping fetches from distinct clients
+// ---------------------------------------------------------------------------
+
+TEST(FileServer, ThreeOverlappingFetchesAreByteIdentical) {
+  const std::string dir = ::testing::TempDir() + "fobs_fileserver_accept";
+  const std::vector<std::int64_t> sizes = {768 * 1024, 256 * 1024 + 7, 512 * 1024};
+  const auto checksums = stage_files(dir, sizes);
+
+  posix::FileServerOptions options;
+  options.dir = dir;
+  options.catalog_port = 37100;  // control ports 37101..37132
+  options.quiet = true;
+  options.endpoint.timeout_ms = 30'000;
+  posix::FileServer server(options);
+  ASSERT_TRUE(server.start());
+  EXPECT_TRUE(server.running());
+
+  // Three clients fetch concurrently, each on its own UDP data port.
+  std::vector<posix::FetchResult> results(sizes.size());
+  std::vector<std::thread> clients;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    clients.emplace_back([&, i] {
+      posix::FetchOptions fetch;
+      fetch.catalog_port = options.catalog_port;
+      fetch.name = "dataset" + std::to_string(i) + ".bin";
+      fetch.out_path = dir + "/fetched" + std::to_string(i) + ".bin";
+      fetch.data_port = static_cast<std::uint16_t>(37150 + i);
+      fetch.quiet = true;
+      fetch.endpoint.timeout_ms = 30'000;
+      results[i] = posix::fetch_file(fetch);
+    });
+  }
+  for (auto& client : clients) client.join();
+
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_EQ(results[i].status, posix::TransferStatus::kCompleted)
+        << "fetch " << i << ": " << results[i].error;
+    EXPECT_EQ(results[i].bytes, sizes[i]);
+    EXPECT_EQ(results[i].checksum, checksums[i]) << "fetch " << i << " content differs";
+    // The fetched file really landed on disk at full size.
+    auto fetched =
+        core::TransferObject::map_file(dir + "/fetched" + std::to_string(i) + ".bin");
+    ASSERT_TRUE(fetched.has_value()) << "fetch " << i;
+    EXPECT_EQ(fetched->size(), sizes[i]);
+    EXPECT_EQ(fetched->checksum(), checksums[i]);
+  }
+  EXPECT_EQ(server.requests_handled(), sizes.size());
+  EXPECT_EQ(server.transfers_started(), sizes.size());
+  EXPECT_EQ(server.transfers_completed(), sizes.size());
+  EXPECT_EQ(server.transfers_failed(), 0u);
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+// ---------------------------------------------------------------------------
+// Bugfix: a silent catalog client must not wedge the serve loop
+// ---------------------------------------------------------------------------
+
+TEST(FileServer, SilentCatalogClientTimesOutAndServiceContinues) {
+  const std::string dir = ::testing::TempDir() + "fobs_fileserver_silent";
+  const auto checksums = stage_files(dir, {128 * 1024});
+
+  posix::FileServerOptions options;
+  options.dir = dir;
+  options.catalog_port = 37160;
+  options.catalog_recv_timeout_ms = 500;
+  options.quiet = true;
+  options.endpoint.timeout_ms = 30'000;
+  posix::FileServer server(options);
+  ASSERT_TRUE(server.start());
+
+  // A client connects and then says nothing — the pre-engine fobsd
+  // would block on recv() here forever, wedging every later request.
+  const int silent = connect_tcp(options.catalog_port);
+  ASSERT_GE(silent, 0);
+
+  // While the silent client sits there, a real fetch must still work.
+  posix::FetchOptions fetch;
+  fetch.catalog_port = options.catalog_port;
+  fetch.name = "dataset0.bin";
+  fetch.out_path = dir + "/fetched0.bin";
+  fetch.data_port = 37170;
+  fetch.quiet = true;
+  fetch.endpoint.timeout_ms = 30'000;
+  const auto result = posix::fetch_file(fetch);
+  EXPECT_EQ(result.status, posix::TransferStatus::kCompleted) << result.error;
+  EXPECT_EQ(result.checksum, checksums[0]);
+
+  // The silent connection is reaped by the catalog receive timeout.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.catalog_timeouts() == 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(server.catalog_timeouts(), 1u);
+  EXPECT_EQ(server.transfers_completed(), 1u);
+  ::close(silent);
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Refusal paths
+// ---------------------------------------------------------------------------
+
+TEST(FileServer, UnknownFileAndTraversalAreRefused) {
+  const std::string dir = ::testing::TempDir() + "fobs_fileserver_refuse";
+  stage_files(dir, {4 * 1024});
+
+  posix::FileServerOptions options;
+  options.dir = dir;
+  options.catalog_port = 37180;
+  options.quiet = true;
+  posix::FileServer server(options);
+  ASSERT_TRUE(server.start());
+
+  posix::FetchOptions missing;
+  missing.catalog_port = options.catalog_port;
+  missing.name = "no-such-file.bin";
+  missing.out_path = dir + "/never.bin";
+  missing.data_port = 37185;
+  missing.quiet = true;
+  const auto refused = posix::fetch_file(missing);
+  EXPECT_EQ(refused.status, posix::TransferStatus::kPeerLost);
+  EXPECT_FALSE(refused.completed());
+
+  posix::FetchOptions traversal = missing;
+  traversal.name = "../dataset0.bin";
+  const auto blocked = posix::fetch_file(traversal);
+  EXPECT_FALSE(blocked.completed());
+
+  EXPECT_EQ(server.requests_refused(), 2u);
+  EXPECT_EQ(server.transfers_started(), 0u);
+  server.stop();
+}
+
+TEST(FileServer, StartRejectsInvalidOptions) {
+  posix::FileServerOptions no_dir_options;
+  no_dir_options.catalog_port = 37190;
+  posix::FileServer no_dir(no_dir_options);
+  EXPECT_FALSE(no_dir.start());
+
+  posix::FileServerOptions no_port_options;
+  no_port_options.dir = "/tmp";
+  posix::FileServer no_port(no_port_options);
+  EXPECT_FALSE(no_port.start());
+}
+
+}  // namespace
+}  // namespace fobs

@@ -73,15 +73,15 @@ void run_loopback_transfer(std::int64_t object_bytes, std::int64_t packet_bytes,
   posix::ReceiverOptions recv_opts;
   recv_opts.data_port = port_base(port_offset);
   recv_opts.control_port = port_base(port_offset + 1);
-  recv_opts.packet_bytes = packet_bytes;
+  recv_opts.endpoint.packet_bytes = packet_bytes;
   recv_opts.core.ack_frequency = ack_frequency;
-  recv_opts.timeout_ms = 30'000;
+  recv_opts.endpoint.timeout_ms = 30'000;
 
   posix::SenderOptions send_opts;
   send_opts.data_port = recv_opts.data_port;
   send_opts.control_port = recv_opts.control_port;
-  send_opts.packet_bytes = packet_bytes;
-  send_opts.timeout_ms = 30'000;
+  send_opts.endpoint.packet_bytes = packet_bytes;
+  send_opts.endpoint.timeout_ms = 30'000;
 
   posix::ReceiverResult recv_result;
   std::thread receiver_thread([&] {
@@ -92,8 +92,8 @@ void run_loopback_transfer(std::int64_t object_bytes, std::int64_t packet_bytes,
       posix::send_object(send_opts, std::span<const std::uint8_t>(object));
   receiver_thread.join();
 
-  ASSERT_TRUE(send_result.completed) << send_result.error;
-  ASSERT_TRUE(recv_result.completed) << recv_result.error;
+  ASSERT_TRUE(send_result.completed()) << send_result.error;
+  ASSERT_TRUE(recv_result.completed()) << recv_result.error;
   EXPECT_EQ(sink, object);
   EXPECT_EQ(recv_result.packets_received,
             (object_bytes + packet_bytes - 1) / packet_bytes);
@@ -122,8 +122,8 @@ TEST(FobsPosixTransfer, SenderTimesOutWithNoReceiver) {
   posix::SenderOptions opts;
   opts.data_port = port_base(40);
   opts.control_port = port_base(41);
-  opts.timeout_ms = 1'000;
-  opts.tracer = &trace;
+  opts.endpoint.timeout_ms = 1'000;
+  opts.endpoint.tracer = &trace;
 
   const auto start = std::chrono::steady_clock::now();
   const auto result = posix::send_object(opts, std::span<const std::uint8_t>(object));
@@ -131,10 +131,11 @@ TEST(FobsPosixTransfer, SenderTimesOutWithNoReceiver) {
                               std::chrono::steady_clock::now() - start)
                               .count();
 
-  EXPECT_FALSE(result.completed);
+  EXPECT_FALSE(result.completed());
+  EXPECT_EQ(result.status, posix::TransferStatus::kTimeout);
   EXPECT_FALSE(result.error.empty());
   // Must give up at its deadline, not hang (generous slack for CI).
-  EXPECT_LT(elapsed_ms, opts.timeout_ms + 5'000);
+  EXPECT_LT(elapsed_ms, opts.endpoint.timeout_ms + 5'000);
 
   const auto events = trace.snapshot();
   ASSERT_FALSE(events.empty());
@@ -150,8 +151,8 @@ TEST(FobsPosixTransfer, ReceiverTimesOutWithNoSender) {
   posix::ReceiverOptions opts;
   opts.data_port = port_base(42);
   opts.control_port = port_base(43);
-  opts.timeout_ms = 1'000;
-  opts.tracer = &trace;
+  opts.endpoint.timeout_ms = 1'000;
+  opts.endpoint.tracer = &trace;
 
   const auto start = std::chrono::steady_clock::now();
   const auto result = posix::receive_object(opts, std::span<std::uint8_t>(sink));
@@ -159,9 +160,10 @@ TEST(FobsPosixTransfer, ReceiverTimesOutWithNoSender) {
                               std::chrono::steady_clock::now() - start)
                               .count();
 
-  EXPECT_FALSE(result.completed);
+  EXPECT_FALSE(result.completed());
+  EXPECT_EQ(result.status, posix::TransferStatus::kPeerLost);
   EXPECT_FALSE(result.error.empty());
-  EXPECT_LT(elapsed_ms, opts.timeout_ms + 5'000);
+  EXPECT_LT(elapsed_ms, opts.endpoint.timeout_ms + 5'000);
 
   const auto events = trace.snapshot();
   ASSERT_FALSE(events.empty());

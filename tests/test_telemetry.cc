@@ -388,14 +388,14 @@ TEST(TraceSchema, PosixTransferEmitsValidJsonl) {
   posix::ReceiverOptions recv_opts;
   recv_opts.data_port = 36050;
   recv_opts.control_port = 36051;
-  recv_opts.timeout_ms = 30'000;
-  recv_opts.tracer = &receiver_trace;
+  recv_opts.endpoint.timeout_ms = 30'000;
+  recv_opts.endpoint.tracer = &receiver_trace;
 
   posix::SenderOptions send_opts;
   send_opts.data_port = recv_opts.data_port;
   send_opts.control_port = recv_opts.control_port;
-  send_opts.timeout_ms = 30'000;
-  send_opts.tracer = &sender_trace;
+  send_opts.endpoint.timeout_ms = 30'000;
+  send_opts.endpoint.tracer = &sender_trace;
 
   posix::ReceiverResult recv_result;
   std::thread receiver_thread([&] {
@@ -404,8 +404,8 @@ TEST(TraceSchema, PosixTransferEmitsValidJsonl) {
   const auto send_result =
       posix::send_object(send_opts, std::span<const std::uint8_t>(object));
   receiver_thread.join();
-  ASSERT_TRUE(send_result.completed) << send_result.error;
-  ASSERT_TRUE(recv_result.completed) << recv_result.error;
+  ASSERT_TRUE(send_result.completed()) << send_result.error;
+  ASSERT_TRUE(recv_result.completed()) << recv_result.error;
 
   const auto sender_lines = validate_jsonl(sender_trace);
   const auto receiver_lines = validate_jsonl(receiver_trace);
