@@ -91,11 +91,15 @@ void TransferHandle::cancel() const {
 }
 
 const SenderResult& TransferHandle::sender_result() const {
+  static const SenderResult kNoSenderResult{};
+  if (!session_) return kNoSenderResult;
   std::lock_guard lock(session_->mu);
   return session_->sender_result;
 }
 
 const ReceiverResult& TransferHandle::receiver_result() const {
+  static const ReceiverResult kNoReceiverResult{};
+  if (!session_) return kNoReceiverResult;
   std::lock_guard lock(session_->mu);
   return session_->receiver_result;
 }
@@ -116,6 +120,17 @@ fobs::telemetry::EventTracer* TransferHandle::tracer() const {
 struct TransferEngine::Impl {
   explicit Impl(EngineOptions opts)
       : options(opts), pool(opts.workers == 0 ? 0 : std::max<std::size_t>(1, opts.workers)) {
+    // A range reaching past port 65535 would wrap the uint16_t
+    // arithmetic below and hand out unintended low-numbered ports;
+    // clamp it to the valid tail (and treat base 0 — not a usable
+    // listening port — as "allocator disabled").
+    if (options.control_port_base == 0) {
+      options.control_port_count = 0;
+    } else {
+      const std::uint32_t room = 0x1'0000u - options.control_port_base;
+      options.control_port_count =
+          static_cast<std::uint16_t>(std::min<std::uint32_t>(options.control_port_count, room));
+    }
     free_ports.reserve(options.control_port_count);
     // Hand ports out in ascending order (pop_back takes from the end).
     for (int i = static_cast<int>(options.control_port_count) - 1; i >= 0; --i) {
@@ -141,6 +156,11 @@ struct TransferEngine::Impl {
   int acceptor_fd = -1;
   std::function<void(int, std::string)> acceptor_handler;
   std::thread acceptor_thread;
+  // Handler tasks dispatched to the pool and not yet finished. They run
+  // user code that calls back into the engine, so stop_acceptor() must
+  // not return (and teardown must not proceed) while any are in flight.
+  std::size_t inflight_handlers = 0;  ///< guarded by mu
+  std::condition_variable handlers_cv;
 
   // Declared last: destroyed first, so workers (which touch the fields
   // above through run_session) finish before anything else goes away.
@@ -306,10 +326,17 @@ void TransferEngine::acceptor_loop() {
     telemetry::MetricsRegistry::global().counter("fobs.engine.connections_accepted").inc();
     // Each connection is handled on the pool, so a slow client never
     // blocks the accept loop — this is what makes the catalog
-    // concurrent.
+    // concurrent. The in-flight count covers the task from enqueue to
+    // return, including time spent queued behind busy workers.
+    {
+      std::lock_guard lock(impl_->mu);
+      ++impl_->inflight_handlers;
+    }
     impl_->pool.submit(
-        [handler = impl_->acceptor_handler, conn, peer_host = std::string(host)]() mutable {
+        [this, handler = impl_->acceptor_handler, conn, peer_host = std::string(host)]() mutable {
           handler(conn, std::move(peer_host));
+          std::lock_guard lock(impl_->mu);
+          if (--impl_->inflight_handlers == 0) impl_->handlers_cv.notify_all();
         });
   }
 }
@@ -320,6 +347,13 @@ void TransferEngine::stop_acceptor() {
   impl_->acceptor_thread.join();
   ::close(impl_->acceptor_fd);
   impl_->acceptor_fd = -1;
+  // Quiesce dispatched handlers before the caller may tear anything
+  // down: a handler mid-flight still holds the engine (and whatever the
+  // handler closure captured).
+  {
+    std::unique_lock lock(impl_->mu);
+    impl_->handlers_cv.wait(lock, [&] { return impl_->inflight_handlers == 0; });
+  }
   impl_->acceptor_handler = nullptr;
 }
 

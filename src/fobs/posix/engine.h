@@ -141,6 +141,10 @@ class TransferEngine {
   /// false when the bind/listen fails or one is already running.
   bool start_acceptor(std::uint16_t port,
                       std::function<void(int fd, std::string peer_host)> handler);
+  /// Stops accepting and blocks until every already-dispatched handler
+  /// task has returned, so callers can tear down state the handlers
+  /// capture. Handlers queued behind busy workers still run first;
+  /// cancel sessions beforehand if stop latency matters.
   void stop_acceptor();
   [[nodiscard]] bool acceptor_running() const;
 

@@ -29,13 +29,18 @@ bool send_line(int fd, const std::string& line) {
 }
 
 /// Reads one '\n'-terminated line (newline stripped) from a stream
-/// socket, giving up at `deadline`. This timeout is what keeps a
-/// connected-but-silent client from wedging a catalog worker forever.
-/// Returns false on timeout/EOF/error; `line` holds whatever arrived.
-bool recv_line(int fd, Clock::time_point deadline, std::string& line) {
+/// socket, giving up at `deadline` or as soon as `abort` (optional) is
+/// set. The timeout is what keeps a connected-but-silent client from
+/// wedging a catalog worker forever; the abort flag lets a server
+/// shutdown reclaim such a worker without waiting out the timeout.
+/// Returns false on timeout/abort/EOF/error; `line` holds whatever
+/// arrived.
+bool recv_line(int fd, Clock::time_point deadline, std::string& line,
+               const std::atomic<bool>* abort = nullptr) {
   line.clear();
   char ch = 0;
   while (line.size() < 512) {
+    if (abort != nullptr && abort->load(std::memory_order_relaxed)) return false;
     const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
         deadline - Clock::now());
     if (remaining.count() <= 0) return false;
@@ -103,22 +108,37 @@ bool FileServer::start() {
 
 void FileServer::stop() {
   if (!engine_) return;
-  engine_->stop_acceptor();
+  // Quiesce order matters: the stopping flag makes catalog handlers
+  // bail out of recv_line and refuse new sessions; cancelling live
+  // sessions first frees pool workers so queued handlers drain fast;
+  // stop_acceptor() then blocks until every dispatched handler has
+  // returned — only after that is it safe to destroy the engine the
+  // handlers call into.
+  stopping_.store(true);
   engine_->cancel_all();
+  engine_->stop_acceptor();
+  engine_->cancel_all();  // sessions submitted by handlers mid-shutdown
   engine_->wait_idle();
   engine_.reset();
+  stopping_.store(false);
 }
 
 bool FileServer::running() const { return engine_ != nullptr && engine_->acceptor_running(); }
 
 void FileServer::handle_catalog(int fd, const std::string& peer_host) {
+  if (stopping_.load(std::memory_order_relaxed)) {
+    ::close(fd);
+    return;
+  }
   requests_.fetch_add(1, std::memory_order_relaxed);
   const auto deadline =
       Clock::now() + std::chrono::milliseconds(std::max(1, options_.catalog_recv_timeout_ms));
   std::string request;
-  if (!recv_line(fd, deadline, request)) {
-    catalog_timeouts_.fetch_add(1, std::memory_order_relaxed);
-    telemetry::MetricsRegistry::global().counter("fobs.fileserver.catalog_timeouts").inc();
+  if (!recv_line(fd, deadline, request, &stopping_)) {
+    if (!stopping_.load(std::memory_order_relaxed)) {
+      catalog_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      telemetry::MetricsRegistry::global().counter("fobs.fileserver.catalog_timeouts").inc();
+    }
     ::close(fd);
     return;
   }
@@ -127,6 +147,14 @@ void FileServer::handle_catalog(int fd, const std::string& peer_host) {
   const int client_port =
       space == std::string::npos ? 0 : std::atoi(request.c_str() + space + 1);
 
+  if (stopping_.load(std::memory_order_relaxed)) {
+    // Shed the request instead of starting a session the shutdown
+    // would immediately cancel.
+    refused_.fetch_add(1, std::memory_order_relaxed);
+    send_line(fd, "-1 0\n");
+    ::close(fd);
+    return;
+  }
   auto mapped = name_is_safe(name)
                     ? fobs::core::TransferObject::map_file(options_.dir + "/" + name)
                     : std::nullopt;
@@ -198,21 +226,25 @@ FetchResult fetch_file(const FetchOptions& options) {
   }
 
   // Catalog exchange, retrying the connect (the server may still be
-  // starting).
-  const int conn = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (conn < 0) {
-    result.status = TransferStatus::kSocketError;
-    result.error = "socket failed";
-    return result;
-  }
+  // starting). Each attempt gets a fresh socket: POSIX leaves a socket
+  // in an unspecified state after a failed connect(), so reusing it can
+  // fail spuriously off-Linux.
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(options.catalog_port);
   ::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr);
+  int conn = -1;
   int attempts = 0;
-  while (::connect(conn, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+  for (;;) {
+    conn = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (conn < 0) {
+      result.status = TransferStatus::kSocketError;
+      result.error = "socket failed";
+      return result;
+    }
+    if (::connect(conn, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0) break;
+    ::close(conn);
     if (++attempts > std::max(1, options.connect_attempts)) {
-      ::close(conn);
       result.status = TransferStatus::kPeerLost;
       result.error = "catalog connect failed";
       return result;

@@ -76,6 +76,10 @@ class FileServer {
 
   FileServerOptions options_;
   std::unique_ptr<TransferEngine> engine_;
+  /// Set for the duration of stop(): catalog handlers still in flight
+  /// abort their recv and refuse new sessions, so the engine can be
+  /// quiesced and destroyed without racing them.
+  std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> refused_{0};
   std::atomic<std::uint64_t> catalog_timeouts_{0};

@@ -74,6 +74,24 @@ void count_outcome(telemetry::MetricsRegistry& metrics, const char* side,
   }
 }
 
+/// Scope guard that feeds the final status to count_outcome on every
+/// exit path — the early option/socket failures included, so the
+/// per-outcome counters always sum to the number of runs.
+class OutcomeScope {
+ public:
+  OutcomeScope(telemetry::MetricsRegistry& metrics, const char* side,
+               const TransferStatus& status)
+      : metrics_(metrics), side_(side), status_(status) {}
+  ~OutcomeScope() { count_outcome(metrics_, side_, status_); }
+  OutcomeScope(const OutcomeScope&) = delete;
+  OutcomeScope& operator=(const OutcomeScope&) = delete;
+
+ private:
+  telemetry::MetricsRegistry& metrics_;
+  const char* side_;
+  const TransferStatus& status_;
+};
+
 bool cancel_requested(const std::atomic<bool>* cancel) {
   return cancel != nullptr && cancel->load(std::memory_order_relaxed);
 }
@@ -240,6 +258,8 @@ SenderResult run_sender(const SenderOptions& options, std::span<const std::uint8
                         const std::atomic<bool>* cancel) {
   SenderResult result;
   result.status = TransferStatus::kBadOptions;
+  auto& metrics = telemetry::MetricsRegistry::global();
+  OutcomeScope outcome(metrics, "sender", result.status);
   if (options.data_port == 0 || options.control_port == 0) {
     result.error = "invalid options: data_port and control_port must be non-zero";
     return result;
@@ -308,7 +328,6 @@ SenderResult run_sender(const SenderOptions& options, std::span<const std::uint8
   fobs::telemetry::EventTracer* tracer = options.endpoint.tracer;
   core.set_tracer(tracer);
   begin_trace(tracer, start, spec.packet_count());
-  auto& metrics = telemetry::MetricsRegistry::global();
   metrics.counter("fobs.posix.sender.transfers").inc();
   result.status = TransferStatus::kRunning;
 
@@ -536,7 +555,6 @@ SenderResult run_sender(const SenderOptions& options, std::span<const std::uint8
   end_trace(tracer, result.status);
   if (faults) metrics.counter("fobs.fault.injected").inc(faults->total_injected());
   metrics.counter("fobs.posix.sender.packets_sent").inc(result.packets_sent);
-  count_outcome(metrics, "sender", result.status);
   return result;
 }
 
@@ -548,6 +566,8 @@ ReceiverResult run_receiver(const ReceiverOptions& options, std::span<std::uint8
                             const std::atomic<bool>* cancel) {
   ReceiverResult result;
   result.status = TransferStatus::kBadOptions;
+  auto& metrics = telemetry::MetricsRegistry::global();
+  OutcomeScope outcome(metrics, "receiver", result.status);
   if (options.data_port == 0 || options.control_port == 0) {
     result.error = "invalid options: data_port and control_port must be non-zero";
     return result;
@@ -562,7 +582,6 @@ ReceiverResult run_receiver(const ReceiverOptions& options, std::span<std::uint8
   }
   fobs::core::TransferSpec spec{static_cast<std::int64_t>(buffer.size()),
                                 options.endpoint.packet_bytes};
-  auto& metrics = telemetry::MetricsRegistry::global();
 
   std::optional<fobs::net::FaultInjector> faults;
   if (!resolve_fault_plan(options.endpoint.fault_plan, faults, result.error)) return result;
@@ -581,7 +600,6 @@ ReceiverResult run_receiver(const ReceiverOptions& options, std::span<std::uint8
   sockaddr_in bind_addr = make_addr("0.0.0.0", options.data_port);
   if (::bind(udp.get(), reinterpret_cast<sockaddr*>(&bind_addr), sizeof bind_addr) != 0) {
     result.error = "udp bind failed";
-    count_outcome(metrics, "receiver", result.status);
     return result;
   }
 
@@ -639,7 +657,6 @@ ReceiverResult run_receiver(const ReceiverOptions& options, std::span<std::uint8
       result.error = "control connect timeout";
     }
     end_trace(tracer, result.status);
-    count_outcome(metrics, "receiver", result.status);
     return result;
   }
   if (!send_all(control.get(), hello, sizeof hello, deadline)) {
@@ -820,7 +837,6 @@ ReceiverResult run_receiver(const ReceiverOptions& options, std::span<std::uint8
   if (faults) metrics.counter("fobs.fault.injected").inc(faults->total_injected());
   metrics.counter("fobs.posix.receiver.packets_received").inc(result.packets_received);
   metrics.counter("fobs.posix.receiver.duplicates").inc(result.duplicates);
-  count_outcome(metrics, "receiver", result.status);
   return result;
 }
 

@@ -174,6 +174,22 @@ TEST(EngineHandle, BadOptionsSessionTurnsTerminalWithBadOptions) {
   EXPECT_EQ(engine.sessions_completed(), 0u);
 }
 
+TEST(EngineHandle, InvalidHandleAccessorsAreSafe) {
+  // A default-constructed handle has no session; every accessor must
+  // degrade gracefully instead of dereferencing null.
+  posix::TransferHandle handle;
+  EXPECT_FALSE(handle.valid());
+  EXPECT_EQ(handle.id(), 0u);
+  EXPECT_EQ(handle.status(), posix::TransferStatus::kPending);
+  EXPECT_FALSE(handle.done());
+  EXPECT_FALSE(handle.wait_for(std::chrono::milliseconds(1)));
+  EXPECT_EQ(handle.tracer(), nullptr);
+  handle.cancel();  // no-op
+  EXPECT_FALSE(handle.sender_result().completed());
+  EXPECT_FALSE(handle.receiver_result().completed());
+  EXPECT_TRUE(handle.sender_result().error.empty());
+}
+
 TEST(EngineLifecycle, DestructorCancelsLiveSessions) {
   // An engine with a stuck session must tear down promptly instead of
   // waiting out the session's timeout.
@@ -233,6 +249,28 @@ TEST(EnginePorts, DisabledAllocatorAlwaysRefuses) {
   posix::TransferEngine engine({.workers = 1});
   EXPECT_EQ(engine.free_control_ports(), 0u);
   EXPECT_FALSE(engine.allocate_control_port().has_value());
+}
+
+TEST(EnginePorts, RangePastPortMaxIsClampedNotWrapped) {
+  // base 65530 + count 100 would wrap uint16_t arithmetic and hand out
+  // low-numbered ports; the engine must clamp the range to the valid
+  // tail instead. (The allocator is pure bookkeeping — nothing binds.)
+  posix::TransferEngine engine(
+      {.workers = 1, .control_port_base = 65'530, .control_port_count = 100});
+  EXPECT_EQ(engine.free_control_ports(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    const auto port = engine.allocate_control_port();
+    ASSERT_TRUE(port.has_value());
+    EXPECT_GE(*port, 65'530);
+  }
+  EXPECT_FALSE(engine.allocate_control_port().has_value());
+
+  // Base 0 is not a usable listening port: the allocator stays disabled
+  // rather than handing out ports 0..N-1.
+  posix::TransferEngine zero_base(
+      {.workers = 1, .control_port_base = 0, .control_port_count = 8});
+  EXPECT_EQ(zero_base.free_control_ports(), 0u);
+  EXPECT_FALSE(zero_base.allocate_control_port().has_value());
 }
 
 TEST(EnginePorts, OwnedPortIsReleasedWhenSessionEnds) {

@@ -154,6 +154,46 @@ TEST(FileServer, SilentCatalogClientTimesOutAndServiceContinues) {
   server.stop();
 }
 
+TEST(FileServer, StopWithHandlerInFlightIsPromptAndSafe) {
+  // Regression: stop() used to destroy the engine while a catalog
+  // handler could still be blocked in its receive (up to
+  // catalog_recv_timeout_ms), leaving the handler to call into a dead
+  // engine. stop() must quiesce that handler first — and do so promptly
+  // (the stopping flag aborts the receive), not by waiting out the
+  // timeout.
+  const std::string dir = ::testing::TempDir() + "fobs_fileserver_stoprace";
+  stage_files(dir, {4 * 1024});
+
+  posix::FileServerOptions options;
+  options.dir = dir;
+  options.catalog_port = 37140;
+  options.catalog_recv_timeout_ms = 10'000;
+  options.quiet = true;
+  posix::FileServer server(options);
+  ASSERT_TRUE(server.start());
+
+  // Connect silently and wait until the handler is actually running
+  // (it counts the request on entry), so stop() races a live handler.
+  const int silent = connect_tcp(options.catalog_port);
+  ASSERT_GE(silent, 0);
+  const auto dispatch_deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.requests_handled() == 0 &&
+         std::chrono::steady_clock::now() < dispatch_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(server.requests_handled(), 1u);
+
+  const auto stop_start = std::chrono::steady_clock::now();
+  server.stop();
+  const auto stop_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - stop_start)
+                           .count();
+  EXPECT_FALSE(server.running());
+  EXPECT_LT(stop_ms, 5'000) << "stop() should abort the blocked handler, not wait out "
+                               "catalog_recv_timeout_ms";
+  ::close(silent);
+}
+
 // ---------------------------------------------------------------------------
 // Refusal paths
 // ---------------------------------------------------------------------------
