@@ -4,7 +4,9 @@
 // an allocator of per-session control ports, and (optionally) a TCP
 // acceptor for service front-ends. Each submitted transfer becomes a
 // *session*: it runs the blocking POSIX driver loop on a pool worker
-// with its own UDP data socket, its own control connection, its own
+// with its own batched DatagramChannel for the data plane (tuned via
+// EndpointOptions::io — sendmmsg/recvmmsg batch sizes, socket buffers,
+// forced batched/fallback mode), its own control connection, its own
 // EventTracer (when requested), and the full PR-2 fault/checkpoint
 // machinery. The caller holds a TransferHandle and can wait(),
 // poll status(), or cancel() the session at any time.

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
@@ -19,6 +20,7 @@
 #include "common/log.h"
 #include "fobs/posix/checkpoint.h"
 #include "fobs/posix/codec.h"
+#include "net/datagram_channel.h"
 #include "telemetry/metrics.h"
 
 namespace fobs::posix {
@@ -246,6 +248,62 @@ class StallClock {
   int streak_ = 0;
 };
 
+/// Classification of one received ACK datagram.
+enum class AckClass : std::uint8_t {
+  kApply,    ///< decoded, epoch matches: apply to the core
+  kStale,    ///< decoded, wrong incarnation epoch: count and ignore
+  kCorrupt,  ///< undecodable (corrupted in flight or garbage): count and drop
+};
+
+/// The one place ACK datagrams are classified — shared by the sender's
+/// main loop and its completion drain, so the drop counters and trace
+/// events can never diverge between the two code paths.
+class AckClassifier {
+ public:
+  AckClassifier(SenderResult& result, telemetry::MetricsRegistry& metrics,
+                fobs::telemetry::EventTracer* tracer)
+      : result_(result), metrics_(metrics), tracer_(tracer) {}
+
+  /// A hello frame announced the receiver's incarnation epoch; from now
+  /// on only ACKs stamped with it are applied.
+  void on_hello(std::uint32_t epoch) {
+    epoch_ = epoch;
+    filtering_ = true;
+  }
+
+  /// The control channel reconnected: the dead incarnation's in-flight
+  /// ACKs are poison, so reject everything until the new hello arrives
+  /// (receivers always pick nonzero epochs).
+  void on_peer_reconnect() { epoch_ = 0; }
+
+  AckClass classify(const std::uint8_t* data, std::size_t len,
+                    std::optional<fobs::core::AckMessage>& decoded) {
+    decoded = decode_ack(data, len);
+    if (!decoded) {
+      ++result_.corrupt_acks_dropped;
+      metrics_.counter("fobs.fault.corrupt_drops").inc();
+      if (tracer_ != nullptr) {
+        tracer_->record(telemetry::EventType::kCorruptDrop, -1,
+                        result_.corrupt_acks_dropped);
+      }
+      return AckClass::kCorrupt;
+    }
+    if (filtering_ && decoded->epoch != epoch_) {
+      ++result_.stale_acks_dropped;
+      metrics_.counter("fobs.fault.stale_acks").inc();
+      return AckClass::kStale;
+    }
+    return AckClass::kApply;
+  }
+
+ private:
+  SenderResult& result_;
+  telemetry::MetricsRegistry& metrics_;
+  fobs::telemetry::EventTracer* tracer_;
+  std::uint32_t epoch_ = 0;
+  bool filtering_ = false;
+};
+
 }  // namespace
 
 namespace detail {
@@ -268,6 +326,10 @@ SenderResult run_sender(const SenderOptions& options, std::span<const std::uint8
     result.error = "invalid options: packet_bytes must be positive";
     return result;
   }
+  if (const std::string io_invalid = options.endpoint.io.validate(); !io_invalid.empty()) {
+    result.error = "invalid options: " + io_invalid;
+    return result;
+  }
   if (object.empty()) {
     result.error = "invalid options: cannot send an empty object";
     return result;
@@ -279,16 +341,17 @@ SenderResult run_sender(const SenderOptions& options, std::span<const std::uint8
   std::optional<fobs::net::FaultInjector> faults;
   if (!resolve_fault_plan(options.endpoint.fault_plan, faults, result.error)) return result;
 
-  // UDP socket for data out / ACKs in.
+  // Datagram channel for data out / ACKs in. Left unbound — the kernel
+  // assigns the source port on first send and the receiver replies to
+  // it. Receive slots are sized for the largest ACK datagram.
   result.status = TransferStatus::kSocketError;
-  Fd udp(::socket(AF_INET, SOCK_DGRAM, 0));
-  if (!udp.valid() || !set_nonblocking(udp.get())) {
-    result.error = "udp socket setup failed";
+  std::string io_error;
+  auto channel = fobs::net::DatagramChannel::open(
+      options.endpoint.io, static_cast<std::size_t>(kMaxDatagramBytes), std::nullopt,
+      &io_error);
+  if (!channel.valid()) {
+    result.error = io_error;
     return result;
-  }
-  if (options.send_buffer_bytes > 0) {
-    const int buf = options.send_buffer_bytes;
-    ::setsockopt(udp.get(), SOL_SOCKET, SO_SNDBUF, &buf, sizeof buf);
   }
   const sockaddr_in peer = make_addr(options.receiver_host, options.data_port);
 
@@ -309,23 +372,28 @@ SenderResult run_sender(const SenderOptions& options, std::span<const std::uint8
   }
 
   fobs::core::SenderCore core(spec, options.core);
-  std::vector<std::uint8_t> packet(kDataHeaderSize +
-                                   static_cast<std::size_t>(options.endpoint.packet_bytes));
-  std::uint8_t ack_buf[64 * 1024];
+  // Per-batch scatter-gather state. Headers live in `headers` so every
+  // view's iovec stays valid for the whole send_batch call; payload
+  // views point straight into the caller's (typically mmap'd) object —
+  // zero payload copies — except when a fault corrupts a private copy.
+  std::vector<std::array<std::uint8_t, kDataHeaderSize>> headers;
+  std::vector<fobs::net::DatagramView> views;
+  std::vector<std::vector<std::uint8_t>> corrupt_payloads;
+  std::vector<fobs::net::RecvView> ack_views(
+      static_cast<std::size_t>(options.endpoint.io.recv_batch));
 
   Fd control;
   bool control_ever_connected = false;
   std::vector<std::uint8_t> control_buf;
+  const auto start = Clock::now();
+  StallClock stall(start, options.endpoint.timeout_ms, options.endpoint.stall_intervals);
+  fobs::telemetry::EventTracer* tracer = options.endpoint.tracer;
   // ACK-stream versioning: once a receiver announces its incarnation
   // epoch via a hello frame, only ACKs stamped with that epoch are
   // applied. After a reconnect the expected epoch is cleared, so late
   // datagrams from the dead incarnation can never re-mark packets the
-  // new receiver does not have (receivers always pick nonzero epochs).
-  std::uint32_t ack_epoch = 0;
-  bool epoch_filtering = false;
-  const auto start = Clock::now();
-  StallClock stall(start, options.endpoint.timeout_ms, options.endpoint.stall_intervals);
-  fobs::telemetry::EventTracer* tracer = options.endpoint.tracer;
+  // new receiver does not have.
+  AckClassifier acks(result, metrics, tracer);
   core.set_tracer(tracer);
   begin_trace(tracer, start, spec.packet_count());
   metrics.counter("fobs.posix.sender.transfers").inc();
@@ -372,11 +440,11 @@ SenderResult run_sender(const SenderOptions& options, std::span<const std::uint8
           // one after the reset would re-mark packets the new receiver
           // does not have. (An early ACK from the new incarnation can be
           // discarded too; the next snapshot ACK supersedes it.) The
-          // drain handles what is already queued; the epoch filter below
+          // drain handles what is already queued; the epoch filter
           // handles stale ACKs still in flight after it.
-          while (::recv(udp.get(), ack_buf, sizeof ack_buf, MSG_DONTWAIT) > 0) {
+          while (channel.recv_batch(ack_views, nullptr) > 0) {
           }
-          ack_epoch = 0;  // reject everything until the new hello arrives
+          acks.on_peer_reconnect();
         }
         control_ever_connected = true;
       }
@@ -399,8 +467,7 @@ SenderResult run_sender(const SenderOptions& options, std::span<const std::uint8
         }
         if (token == kHelloToken) {
           if (control_buf.size() < kHelloFrameSize) break;  // wait for the rest
-          ack_epoch = static_cast<std::uint32_t>(get_u64be(control_buf.data() + 8));
-          epoch_filtering = true;
+          acks.on_hello(static_cast<std::uint32_t>(get_u64be(control_buf.data() + 8)));
           control_buf.erase(control_buf.begin(),
                             control_buf.begin() + static_cast<std::ptrdiff_t>(kHelloFrameSize));
           continue;
@@ -425,90 +492,90 @@ SenderResult run_sender(const SenderOptions& options, std::span<const std::uint8
       if (core.completion_received()) break;
     }
 
-    // Phase 2: one non-blocking ACK check. Undecodable datagrams
-    // (corrupted in flight or plain garbage) are counted and dropped;
-    // they never reach the core.
-    const ssize_t ack_len = ::recv(udp.get(), ack_buf, sizeof ack_buf, MSG_DONTWAIT);
-    if (ack_len > 0) {
-      if (auto ack = decode_ack(ack_buf, static_cast<std::size_t>(ack_len))) {
-        if (epoch_filtering && ack->epoch != ack_epoch) {
-          ++result.stale_acks_dropped;
-          metrics.counter("fobs.fault.stale_acks").inc();
-        } else {
-          core.on_ack(*ack);
-        }
-      } else {
-        ++result.corrupt_acks_dropped;
-        metrics.counter("fobs.fault.corrupt_drops").inc();
-        if (tracer != nullptr) {
-          tracer->record(telemetry::EventType::kCorruptDrop, -1, result.corrupt_acks_dropped);
-        }
+    // Phase 2: one non-blocking batched drain of the ACK socket.
+    // Undecodable datagrams (corrupted in flight or plain garbage) are
+    // counted and dropped; they never reach the core.
+    const int n_acks = channel.recv_batch(ack_views, nullptr);
+    for (int i = 0; i < n_acks; ++i) {
+      std::optional<fobs::core::AckMessage> ack;
+      if (acks.classify(ack_views[static_cast<std::size_t>(i)].data.data(),
+                        ack_views[static_cast<std::size_t>(i)].data.size(),
+                        ack) == AckClass::kApply) {
+        core.on_ack(*ack);
       }
     }
 
     if (core.all_acked()) {
-      // Nothing useful to send; nap briefly while waiting for the
-      // completion signal instead of spinning.
-      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      // Nothing useful to send; sleep on the actual fds (fresher ACKs
+      // on the data socket, the completion token on the control side)
+      // instead of napping a fixed interval, so completion latency does
+      // not quantize to a nap period. Bounded at 10 ms so the
+      // cancel/stall checks keep running.
+      pollfd pfds[2] = {{channel.fd(), POLLIN, 0},
+                        {control.valid() ? control.get() : listener.get(), POLLIN, 0}};
+      ::poll(pfds, 2, 10);
       continue;
     }
 
-    // Phase 1: batch-send.
+    // Phase 1: gather one FOBS batch as scatter-gather views (header
+    // buffer + a pointer into the object) and push it with as few send
+    // syscalls as the channel can manage.
     const int batch = core.current_batch_size();
-    int sent_in_batch = 0;
+    headers.resize(static_cast<std::size_t>(std::max(batch, 1)));
+    views.clear();
+    corrupt_payloads.clear();
+    int selected = 0;
+    bool crash_pending = false;
     for (int i = 0; i < batch && !core.all_acked(); ++i) {
       if (faults && faults->crash_due()) {
-        result.status = TransferStatus::kCrashed;
-        result.error = "injected crash";
+        crash_pending = true;  // what is already gathered still goes out
         break;
       }
       const auto seq = core.select_next();
       if (!seq) break;
       const std::int64_t len = spec.payload_bytes(*seq);
-      DataHeader header{*seq,
-                        payload_crc(object.data() + spec.offset_of(*seq),
-                                    static_cast<std::size_t>(len))};
-      encode_data_header(header, packet.data());
-      std::memcpy(packet.data() + kDataHeaderSize, object.data() + spec.offset_of(*seq),
-                  static_cast<std::size_t>(len));
+      const std::uint8_t* payload = object.data() + spec.offset_of(*seq);
+      auto& header_buf = headers[static_cast<std::size_t>(selected)];
+      encode_data_header(DataHeader{*seq, payload_crc(payload, static_cast<std::size_t>(len))},
+                         header_buf.data());
       int copies = 1;
       if (faults) {
         switch (faults->next(fobs::net::FaultChannel::kData)) {
           case fobs::net::FaultAction::kDrop: copies = 0; break;
-          case fobs::net::FaultAction::kCorrupt:
-            // Flip a payload byte after the CRC was computed, so the
-            // receiver's checksum test fails deterministically.
-            packet[kDataHeaderSize] ^= 0xFF;
+          case fobs::net::FaultAction::kCorrupt: {
+            // Flip a byte in a private copy after the CRC was computed,
+            // so the receiver's checksum test fails deterministically —
+            // on exactly this datagram of the batch. The mapped object
+            // itself must stay pristine.
+            auto& copy = corrupt_payloads.emplace_back(payload, payload + len);
+            copy[0] ^= 0xFF;
+            payload = copy.data();
             break;
+          }
           case fobs::net::FaultAction::kDuplicate: copies = 2; break;
           case fobs::net::FaultAction::kPass: break;
         }
       }
-      for (int copy = 0; copy < copies && result.error.empty(); ++copy) {
-        while (true) {
-          const ssize_t sent = ::sendto(udp.get(), packet.data(),
-                                        kDataHeaderSize + static_cast<std::size_t>(len), 0,
-                                        reinterpret_cast<const sockaddr*>(&peer), sizeof peer);
-          if (sent >= 0) break;
-          if (errno == EWOULDBLOCK || errno == EAGAIN || errno == ENOBUFS) {
-            // The select()-style wait from the paper: block until the
-            // socket can take the datagram.
-            pollfd pfd{udp.get(), POLLOUT, 0};
-            ::poll(&pfd, 1, 10);
-            continue;
-          }
-          result.status = TransferStatus::kSocketError;
-          result.error = std::string("sendto failed: ") + std::strerror(errno);
-          break;
-        }
+      for (int copy = 0; copy < copies; ++copy) {
+        views.push_back({std::span<const std::uint8_t>(header_buf),
+                         std::span<const std::uint8_t>(payload,
+                                                       static_cast<std::size_t>(len))});
       }
-      if (!result.error.empty()) break;
-      ++sent_in_batch;
+      ++selected;
     }
-    if (tracer != nullptr && sent_in_batch > 0) {
-      tracer->record(telemetry::EventType::kBatchSent, -1, sent_in_batch);
+    if (!views.empty() && !channel.send_batch(views, peer, &io_error)) {
+      result.status = TransferStatus::kSocketError;
+      result.error = io_error;
+      break;
     }
-    if (!result.error.empty()) break;
+    if (tracer != nullptr && selected > 0) {
+      tracer->record(telemetry::EventType::kBatchSent, -1, selected);
+    }
+    if (crash_pending) {
+      result.status = TransferStatus::kCrashed;
+      result.error = "injected crash";
+      break;
+    }
 
     // The adaptive extension's pacing gap, when enabled.
     const auto gap = core.pacing_gap();
@@ -522,19 +589,14 @@ SenderResult run_sender(const SenderOptions& options, std::span<const std::uint8
   // can complete over the control channel with most ACKs unread; their
   // classification must not depend on that race.
   if (core.completion_received()) {
-    ssize_t drain_len = 0;
-    while ((drain_len = ::recv(udp.get(), ack_buf, sizeof ack_buf, MSG_DONTWAIT)) > 0) {
-      if (auto ack = decode_ack(ack_buf, static_cast<std::size_t>(drain_len))) {
-        if (epoch_filtering && ack->epoch != ack_epoch) {
-          ++result.stale_acks_dropped;
-          metrics.counter("fobs.fault.stale_acks").inc();
-        }
-      } else {
-        ++result.corrupt_acks_dropped;
-        metrics.counter("fobs.fault.corrupt_drops").inc();
-        if (tracer != nullptr) {
-          tracer->record(telemetry::EventType::kCorruptDrop, -1, result.corrupt_acks_dropped);
-        }
+    int drained = 0;
+    while ((drained = channel.recv_batch(ack_views, nullptr)) > 0) {
+      for (int i = 0; i < drained; ++i) {
+        std::optional<fobs::core::AckMessage> ack;
+        // Classification only — the transfer is over, so a kApply ACK
+        // is simply discarded while corrupt/stale ones are counted.
+        acks.classify(ack_views[static_cast<std::size_t>(i)].data.data(),
+                      ack_views[static_cast<std::size_t>(i)].data.size(), ack);
       }
     }
   }
@@ -555,6 +617,7 @@ SenderResult run_sender(const SenderOptions& options, std::span<const std::uint8
   end_trace(tracer, result.status);
   if (faults) metrics.counter("fobs.fault.injected").inc(faults->total_injected());
   metrics.counter("fobs.posix.sender.packets_sent").inc(result.packets_sent);
+  result.io = channel.stats();
   return result;
 }
 
@@ -576,6 +639,10 @@ ReceiverResult run_receiver(const ReceiverOptions& options, std::span<std::uint8
     result.error = "invalid options: packet_bytes must be positive";
     return result;
   }
+  if (const std::string io_invalid = options.endpoint.io.validate(); !io_invalid.empty()) {
+    result.error = "invalid options: " + io_invalid;
+    return result;
+  }
   if (buffer.empty()) {
     result.error = "invalid options: cannot receive into an empty buffer";
     return result;
@@ -587,19 +654,17 @@ ReceiverResult run_receiver(const ReceiverOptions& options, std::span<std::uint8
   if (!resolve_fault_plan(options.endpoint.fault_plan, faults, result.error)) return result;
   metrics.counter("fobs.posix.receiver.transfers").inc();
 
+  // Datagram channel bound at the data port. Receive slots are sized
+  // for exactly one full data packet; anything larger is truncated by
+  // the kernel and rejected as garbage below.
   result.status = TransferStatus::kSocketError;
-  Fd udp(::socket(AF_INET, SOCK_DGRAM, 0));
-  if (!udp.valid() || !set_nonblocking(udp.get())) {
-    result.error = "udp socket setup failed";
-    return result;
-  }
-  if (options.recv_buffer_bytes > 0) {
-    const int buf = options.recv_buffer_bytes;
-    ::setsockopt(udp.get(), SOL_SOCKET, SO_RCVBUF, &buf, sizeof buf);
-  }
-  sockaddr_in bind_addr = make_addr("0.0.0.0", options.data_port);
-  if (::bind(udp.get(), reinterpret_cast<sockaddr*>(&bind_addr), sizeof bind_addr) != 0) {
-    result.error = "udp bind failed";
+  std::string io_error;
+  auto channel = fobs::net::DatagramChannel::open(
+      options.endpoint.io,
+      kDataHeaderSize + static_cast<std::size_t>(options.endpoint.packet_bytes),
+      options.data_port, &io_error);
+  if (!channel.valid()) {
+    result.error = io_error;
     return result;
   }
 
@@ -673,18 +738,18 @@ ReceiverResult run_receiver(const ReceiverOptions& options, std::span<std::uint8
     }
   }
 
-  std::vector<std::uint8_t> datagram(kDataHeaderSize +
-                                     static_cast<std::size_t>(options.endpoint.packet_bytes));
-  sockaddr_in from{};
-  socklen_t sender_addr_len = 0;
+  std::vector<fobs::net::RecvView> rx_views(
+      static_cast<std::size_t>(options.endpoint.io.recv_batch));
+  bool sender_known = false;
   sockaddr_in sender_addr{};  // learned from the first *valid* data packet
   // The stall budget measures the data-transfer phase only: a slow
   // control connect must not be double-counted as empty stall intervals
   // the moment data starts flowing.
   StallClock stall(Clock::now(), options.endpoint.timeout_ms, options.endpoint.stall_intervals);
   int acks_since_checkpoint = 0;
+  bool crashed = false;
 
-  while (!core.complete()) {
+  while (!core.complete() && !crashed) {
     if (cancel_requested(cancel)) {
       result.status = TransferStatus::kCancelled;
       result.error = "cancelled";
@@ -699,106 +764,127 @@ ReceiverResult run_receiver(const ReceiverOptions& options, std::span<std::uint8
       break;
     }
     if (faults && faults->crash_due()) {
-      // Simulated kill -9: abandon the transfer without cleanup. Any
-      // checkpoint written so far stays behind for the next incarnation.
-      result.status = TransferStatus::kCrashed;
-      result.error = "injected crash";
+      crashed = true;
       break;
     }
-    socklen_t from_len = sizeof from;
-    const ssize_t n = ::recvfrom(udp.get(), datagram.data(), datagram.size(), MSG_DONTWAIT,
-                                 reinterpret_cast<sockaddr*>(&from), &from_len);
-    if (n < 0) {
-      if (errno == EWOULDBLOCK || errno == EAGAIN) {
-        pollfd pfd{udp.get(), POLLIN, 0};
-        ::poll(&pfd, 1, 10);
-        continue;
-      }
+    const int n_rx = channel.recv_batch(rx_views, &io_error);
+    if (n_rx < 0) {
       result.status = TransferStatus::kSocketError;
-      result.error = std::string("recvfrom failed: ") + std::strerror(errno);
+      result.error = io_error;
       break;
     }
-    const auto header = decode_data_header(datagram.data(), static_cast<std::size_t>(n));
-    if (!header || header->seq < 0 || header->seq >= spec.packet_count()) continue;
-    const std::int64_t len = spec.payload_bytes(header->seq);
-    if (n - static_cast<ssize_t>(kDataHeaderSize) < len) continue;  // truncated
-    if (payload_crc(datagram.data() + kDataHeaderSize, static_cast<std::size_t>(len)) !=
-        header->payload_crc) {
-      // Checksum failure: reject before the payload can touch the
-      // object buffer; the greedy sender will resend it.
-      ++result.corrupt_packets_dropped;
-      metrics.counter("fobs.fault.corrupt_drops").inc();
-      if (tracer != nullptr) {
-        tracer->record(telemetry::EventType::kCorruptDrop, header->seq,
-                       result.corrupt_packets_dropped);
-      }
+    if (n_rx == 0) {
+      pollfd pfd{channel.fd(), POLLIN, 0};
+      ::poll(&pfd, 1, 10);
       continue;
     }
-    // Only a fully validated packet may teach us where ACKs go — a
-    // garbage datagram must not be able to redirect the ACK stream.
-    sender_addr = from;
-    sender_addr_len = from_len;
-
-    if (faults) {
-      // The receiver-side data schedule models incoming damage beyond
-      // what the checksum caught: drop = pretend it never arrived.
-      switch (faults->next(fobs::net::FaultChannel::kData)) {
-        case fobs::net::FaultAction::kDrop: continue;
-        case fobs::net::FaultAction::kCorrupt: {
-          ++result.corrupt_packets_dropped;
-          metrics.counter("fobs.fault.corrupt_drops").inc();
-          if (tracer != nullptr) {
-            tracer->record(telemetry::EventType::kCorruptDrop, header->seq,
-                           result.corrupt_packets_dropped);
-          }
-          continue;
-        }
-        default: break;
+    for (int i = 0; i < n_rx && !core.complete(); ++i) {
+      // The crash schedule fires mid-batch too: datagrams already
+      // processed from this recvmmsg stay processed, the rest are lost
+      // with the incarnation — exactly what a kill -9 between two
+      // recvfrom calls used to look like.
+      if (faults && faults->crash_due()) {
+        crashed = true;
+        break;
       }
-    }
+      const std::uint8_t* data = rx_views[static_cast<std::size_t>(i)].data.data();
+      const std::size_t size = rx_views[static_cast<std::size_t>(i)].data.size();
+      const auto header = decode_data_header(data, size);
+      if (!header || header->seq < 0 || header->seq >= spec.packet_count()) continue;
+      const std::int64_t len = spec.payload_bytes(header->seq);
+      if (size < kDataHeaderSize + static_cast<std::size_t>(len)) continue;  // truncated
+      if (payload_crc(data + kDataHeaderSize, static_cast<std::size_t>(len)) !=
+          header->payload_crc) {
+        // Checksum failure: reject before the payload can touch the
+        // object buffer; the greedy sender will resend it.
+        ++result.corrupt_packets_dropped;
+        metrics.counter("fobs.fault.corrupt_drops").inc();
+        if (tracer != nullptr) {
+          tracer->record(telemetry::EventType::kCorruptDrop, header->seq,
+                         result.corrupt_packets_dropped);
+        }
+        continue;
+      }
+      // Only a fully validated packet may teach us where ACKs go — a
+      // garbage datagram must not be able to redirect the ACK stream.
+      sender_addr = rx_views[static_cast<std::size_t>(i)].from;
+      sender_known = true;
 
-    const auto outcome = core.on_data_packet(header->seq);
-    if (outcome.newly_received) {
-      std::memcpy(buffer.data() + spec.offset_of(header->seq),
-                  datagram.data() + kDataHeaderSize, static_cast<std::size_t>(len));
-    }
-    if (outcome.ack_due && sender_addr_len != 0) {
-      auto msg = core.make_ack();
-      msg.epoch = epoch;
-      auto ack = encode_ack(msg);
-      int copies = 1;
       if (faults) {
-        switch (faults->next(fobs::net::FaultChannel::kAck)) {
-          case fobs::net::FaultAction::kDrop: copies = 0; break;
-          case fobs::net::FaultAction::kCorrupt:
-            // Smash the magic so the sender counts + rejects it.
-            ack[0] ^= 0xFF;
-            break;
-          case fobs::net::FaultAction::kDuplicate: copies = 2; break;
-          case fobs::net::FaultAction::kPass: break;
+        // The receiver-side data schedule models incoming damage beyond
+        // what the checksum caught: drop = pretend it never arrived.
+        // Drawn per datagram, so a fault hits one slot of the batch.
+        switch (faults->next(fobs::net::FaultChannel::kData)) {
+          case fobs::net::FaultAction::kDrop: continue;
+          case fobs::net::FaultAction::kCorrupt: {
+            ++result.corrupt_packets_dropped;
+            metrics.counter("fobs.fault.corrupt_drops").inc();
+            if (tracer != nullptr) {
+              tracer->record(telemetry::EventType::kCorruptDrop, header->seq,
+                             result.corrupt_packets_dropped);
+            }
+            continue;
+          }
+          default: break;
         }
       }
-      for (int copy = 0; copy < copies; ++copy) {
-        ::sendto(udp.get(), ack.data(), ack.size(), 0,
-                 reinterpret_cast<sockaddr*>(&sender_addr), sender_addr_len);
+
+      const auto outcome = core.on_data_packet(header->seq);
+      if (outcome.newly_received) {
+        std::memcpy(buffer.data() + spec.offset_of(header->seq), data + kDataHeaderSize,
+                    static_cast<std::size_t>(len));
       }
-      if (tracer != nullptr) {
-        tracer->record(telemetry::EventType::kAckSent,
-                       static_cast<std::int64_t>(msg.ack_no),
-                       static_cast<std::int64_t>(ack.size()));
-      }
-      if (!options.checkpoint_path.empty() &&
-          ++acks_since_checkpoint >= std::max(1, options.checkpoint_every_acks)) {
-        acks_since_checkpoint = 0;
-        Checkpoint checkpoint;
-        checkpoint.object_bytes = spec.object_bytes;
-        checkpoint.packet_bytes = spec.packet_bytes;
-        checkpoint.received_count = static_cast<std::int64_t>(core.received().count());
-        checkpoint.bitmap = core.received().extract_range(
-            0, static_cast<std::size_t>(spec.packet_count()));
-        save_checkpoint(options.checkpoint_path, checkpoint);
+      if (outcome.ack_due && sender_known) {
+        auto msg = core.make_ack();
+        msg.epoch = epoch;
+        auto ack = encode_ack(msg);
+        int copies = 1;
+        if (faults) {
+          switch (faults->next(fobs::net::FaultChannel::kAck)) {
+            case fobs::net::FaultAction::kDrop: copies = 0; break;
+            case fobs::net::FaultAction::kCorrupt:
+              // Smash the magic so the sender counts + rejects it.
+              ack[0] ^= 0xFF;
+              break;
+            case fobs::net::FaultAction::kDuplicate: copies = 2; break;
+            case fobs::net::FaultAction::kPass: break;
+          }
+        }
+        if (copies > 0) {
+          // A duplicated ACK goes out as one two-view batch — one
+          // syscall where the per-packet path used two sendto calls.
+          const fobs::net::DatagramView ack_view{
+              std::span<const std::uint8_t>(ack.data(), ack.size())};
+          std::array<fobs::net::DatagramView, 2> ack_batch{ack_view, ack_view};
+          channel.send_batch(
+              std::span<const fobs::net::DatagramView>(ack_batch.data(),
+                                                       static_cast<std::size_t>(copies)),
+              sender_addr, nullptr);
+        }
+        if (tracer != nullptr) {
+          tracer->record(telemetry::EventType::kAckSent,
+                         static_cast<std::int64_t>(msg.ack_no),
+                         static_cast<std::int64_t>(ack.size()));
+        }
+        if (!options.checkpoint_path.empty() &&
+            ++acks_since_checkpoint >= std::max(1, options.checkpoint_every_acks)) {
+          acks_since_checkpoint = 0;
+          Checkpoint checkpoint;
+          checkpoint.object_bytes = spec.object_bytes;
+          checkpoint.packet_bytes = spec.packet_bytes;
+          checkpoint.received_count = static_cast<std::int64_t>(core.received().count());
+          checkpoint.bitmap = core.received().extract_range(
+              0, static_cast<std::size_t>(spec.packet_count()));
+          save_checkpoint(options.checkpoint_path, checkpoint);
+        }
       }
     }
+  }
+  if (crashed) {
+    // Simulated kill -9: abandon the transfer without cleanup. Any
+    // checkpoint written so far stays behind for the next incarnation.
+    result.status = TransferStatus::kCrashed;
+    result.error = "injected crash";
   }
 
   if (core.complete()) {
@@ -837,6 +923,7 @@ ReceiverResult run_receiver(const ReceiverOptions& options, std::span<std::uint8
   if (faults) metrics.counter("fobs.fault.injected").inc(faults->total_injected());
   metrics.counter("fobs.posix.receiver.packets_received").inc(result.packets_received);
   metrics.counter("fobs.posix.receiver.duplicates").inc(result.duplicates);
+  result.io = channel.stats();
   return result;
 }
 

@@ -38,10 +38,9 @@ struct SenderOptions {
   std::uint16_t data_port = 0;     ///< receiver's UDP port (required)
   std::uint16_t control_port = 0;  ///< sender's TCP listen port (required)
   fobs::core::SenderConfig core;
-  /// SO_SNDBUF request (0 = system default).
-  int send_buffer_bytes = 1 << 20;
   /// Knobs shared with the receive side (packet size, stall budget,
-  /// fault plan, tracer).
+  /// fault plan, tracer, datagram I/O tuning — SO_SNDBUF now lives at
+  /// `endpoint.io.send_buffer_bytes`).
   EndpointOptions endpoint;
 };
 
@@ -61,6 +60,10 @@ struct SenderResult {
   /// Control-channel connections accepted after the first one (a
   /// restarted receiver reconnecting).
   int reconnects = 0;
+  /// Data-plane I/O counters for this transfer's datagram channel
+  /// (syscalls, datagrams, payload copy bytes avoided by the gather
+  /// path).
+  fobs::net::IoStats io;
 
   [[nodiscard]] bool completed() const { return status == TransferStatus::kCompleted; }
 };
@@ -74,9 +77,6 @@ struct ReceiverOptions {
   std::uint16_t data_port = 0;     ///< local UDP port to bind (required)
   std::uint16_t control_port = 0;  ///< sender's TCP port (required)
   fobs::core::ReceiverConfig core;
-  /// SO_RCVBUF request (0 = system default). This is the buffer whose
-  /// overflow during ACK construction the paper's Figure 1 studies.
-  int recv_buffer_bytes = 1 << 20;
   /// When non-empty, the receiver's bitmap is persisted here every
   /// `checkpoint_every_acks` acknowledgements, an existing compatible
   /// checkpoint is loaded on start (the caller must supply the same
@@ -89,7 +89,9 @@ struct ReceiverOptions {
   /// control channel so already-received packets are not re-sent.
   std::string checkpoint_path;
   int checkpoint_every_acks = 16;
-  /// Knobs shared with the send side.
+  /// Knobs shared with the send side. SO_RCVBUF — the buffer whose
+  /// overflow during ACK construction the paper's Figure 1 studies —
+  /// now lives at `endpoint.io.recv_buffer_bytes`.
   EndpointOptions endpoint;
 };
 
@@ -106,6 +108,8 @@ struct ReceiverResult {
   std::int64_t packets_restored = 0;
   /// Control-channel reconnects performed after losing the connection.
   int reconnects = 0;
+  /// Data-plane I/O counters for this transfer's datagram channel.
+  fobs::net::IoStats io;
 
   [[nodiscard]] bool completed() const { return status == TransferStatus::kCompleted; }
 };

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <any>
+#include <span>
+#include <vector>
 
 #include "host/host.h"
 #include "net/udp.h"
@@ -128,6 +130,51 @@ TEST(Udp, SendWouldBlockWhenNicFull) {
   // Once the queue drains, writability returns.
   world.sim.run();
   EXPECT_TRUE(sender.writable(1400));
+}
+
+TEST(Udp, BatchSendAndBatchRecvMirrorTheSingleCalls) {
+  TwoHosts world;
+  UdpEndpoint sender(*world.a);
+  UdpEndpoint receiver(*world.b, 5000);
+  std::vector<net::SimDatagram> batch;
+  for (int i = 0; i < 8; ++i) {
+    batch.push_back({world.b->id(), 5000, 500, std::any{i}});
+  }
+  EXPECT_EQ(sender.send_batch(batch), 8u);
+  EXPECT_EQ(sender.stats().datagrams_sent, 8u);
+  world.sim.run();
+
+  // recv_batch drains oldest-first into the spans it is given, exactly
+  // like repeated try_recv calls would.
+  std::vector<Packet> out(5);
+  ASSERT_EQ(receiver.recv_batch(out), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(std::any_cast<int>(out[i].payload), i);
+  EXPECT_EQ(receiver.buffered_datagrams(), 3u);
+  auto rest = receiver.try_recv();
+  ASSERT_TRUE(rest.has_value());
+  EXPECT_EQ(std::any_cast<int>(rest->payload), 5);
+  ASSERT_EQ(receiver.recv_batch(out), 2u);
+  EXPECT_EQ(std::any_cast<int>(out[1].payload), 7);
+  EXPECT_EQ(receiver.recv_batch(out), 0u);
+  EXPECT_EQ(receiver.stats().bytes_received, 8 * 500);
+}
+
+TEST(Udp, BatchSendStopsAtFirstRefusalLeavingTheRestIntact) {
+  TwoHosts world(DataRate::megabits_per_second(1), /*queue=*/4096);
+  UdpEndpoint sender(*world.a);
+  UdpEndpoint receiver(*world.b, 5000);
+  std::vector<net::SimDatagram> batch;
+  for (int i = 0; i < 64; ++i) {
+    batch.push_back({world.b->id(), 5000, 1400, std::any{i}});
+  }
+  const std::size_t sent = sender.send_batch(batch);
+  ASSERT_GT(sent, 0u);
+  ASSERT_LT(sent, batch.size());
+  EXPECT_EQ(sender.stats().send_would_block, 1u);
+  // The refused tail is untouched and can be retried verbatim.
+  EXPECT_EQ(std::any_cast<int>(batch[sent].payload), static_cast<int>(sent));
+  world.sim.run();
+  EXPECT_GT(sender.send_batch(std::span(batch).subspan(sent)), 0u);
 }
 
 TEST(Udp, WritabilityNotificationFires) {
