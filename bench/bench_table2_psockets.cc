@@ -59,5 +59,23 @@ int main() {
   table.add_row({"wasted network resources", "-", "-", "2%", util::TextTable::pct(fobs.waste)});
   table.add_row({"optimal parallel sockets", "20", std::to_string(best_n), "-", "-"});
   benchutil::emit(table, "Table 2: FOBS vs. PSockets (contended GigE/OC-12 path)");
+
+  // Machine-readable companion to BENCH_stripes.json: the PSockets
+  // baseline the striped-FOBS numbers are read against.
+  if (FILE* f = std::fopen("BENCH_psockets.json", "w")) {
+    std::fprintf(f,
+                 "{\n  \"benchmark\": \"table2_psockets\",\n"
+                 "  \"path\": \"contended GigE/OC-12\",\n"
+                 "  \"object_bytes\": %lld,\n",
+                 static_cast<long long>(exp::kPaperObjectBytes));
+    std::fprintf(f, "  \"psockets\": {\"paper_fraction\": 0.56, \"measured_fraction\": %.4f, "
+                    "\"paper_optimal_sockets\": 20, \"measured_optimal_sockets\": %d},\n",
+                 best_fraction, best_n);
+    std::fprintf(f, "  \"fobs\": {\"paper_fraction\": 0.76, \"measured_fraction\": %.4f, "
+                    "\"paper_waste\": 0.02, \"measured_waste\": %.4f}\n}\n",
+                 fobs.fraction, fobs.waste);
+    std::fclose(f);
+    std::printf("wrote BENCH_psockets.json\n");
+  }
   return 0;
 }

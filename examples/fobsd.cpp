@@ -1,14 +1,17 @@
 // fobsd — a FOBS file server over real sockets.
 //
-//   fobsd serve <dir> <port>                 # serve files from <dir>
-//   fobsd fetch <host> <port> <name> <out>   # fetch one file
-//   fobsd demo                               # serve + 3 concurrent fetches
+//   fobsd serve <dir> <port> [--stripes N]   # serve files from <dir>
+//   fobsd fetch <host> <port> <name> <out> [--stripes N]
+//   fobsd demo [--stripes N]                 # serve + 3 concurrent fetches
 //
 // Protocol: the client opens a TCP "catalog" connection to <port> and
-// sends one request line:  "<name> <client-udp-port>\n". The server
-// replies "<size> <control-port>\n" (size -1 = refused), then pushes
-// the file with a FOBS transfer: data to the client's UDP port, the
-// completion signal accepted on the per-session control port.
+// sends one request line:  "<name> <client-udp-port>[ <stripes>]\n".
+// The server replies "<size> <control-port>\n" (size -1 = refused),
+// then pushes the file with a FOBS transfer: data to the client's UDP
+// port, the completion signal accepted on the per-session control
+// port. With --stripes N the fetch negotiates FOBSSTRP on that control
+// port and the object rides N parallel UDP flows (PSockets-style);
+// against a pre-striping server it degrades to one flow automatically.
 //
 // The heavy lifting lives in the library (fobs/posix/fileserver.h, on
 // top of the session engine in fobs/posix/engine.h): requests are
@@ -35,10 +38,11 @@ std::string trace_dir() {
   return env == nullptr ? std::string() : std::string(env);
 }
 
-int run_server(const std::string& dir, std::uint16_t port) {
+int run_server(const std::string& dir, std::uint16_t port, int max_stripes) {
   fobs::posix::FileServerOptions options;
   options.dir = dir;
   options.catalog_port = port;
+  options.max_stripes = max_stripes;
   options.trace_dir = trace_dir();
   fobs::posix::FileServer server(options);
   if (!server.start()) {
@@ -60,13 +64,14 @@ int run_server(const std::string& dir, std::uint16_t port) {
 }
 
 int run_fetch(const std::string& host, std::uint16_t port, const std::string& name,
-              const std::string& out_path, std::uint16_t data_port) {
+              const std::string& out_path, std::uint16_t data_port, int stripes) {
   fobs::posix::FetchOptions options;
   options.host = host;
   options.catalog_port = port;
   options.name = name;
   options.out_path = out_path;
   options.data_port = data_port;
+  options.stripes = stripes;
   fobs::telemetry::EventTracer trace;
   if (!trace_dir().empty()) options.endpoint.tracer = &trace;
   const auto result = fobs::posix::fetch_file(options);
@@ -82,13 +87,15 @@ int run_fetch(const std::string& host, std::uint16_t port, const std::string& na
                 result.error.c_str());
     return 1;
   }
-  std::printf("fobsd: fetched %s (%lld bytes, %.0f Mb/s, checksum %016llx)\n", name.c_str(),
-              static_cast<long long>(result.bytes), result.goodput_mbps,
+  std::printf("fobsd: fetched %s (%lld bytes, %d stripe%s%s, %.0f Mb/s, checksum %016llx)\n",
+              name.c_str(), static_cast<long long>(result.bytes), result.stripes,
+              result.stripes == 1 ? "" : "s",
+              result.fallback_single_flow ? " [fallback]" : "", result.goodput_mbps,
               static_cast<unsigned long long>(result.checksum));
   return 0;
 }
 
-int run_demo() {
+int run_demo(int stripes) {
   // Stage three files, serve them, and fetch all three *concurrently*
   // from distinct clients — the one-transfer-at-a-time fobsd is gone.
   const std::string dir = "/tmp/fobsd_demo";
@@ -117,7 +124,9 @@ int run_demo() {
       options.catalog_port = 39100;
       options.name = "dataset" + std::to_string(i) + ".bin";
       options.out_path = dir + "/fetched" + std::to_string(i) + ".bin";
-      options.data_port = static_cast<std::uint16_t>(39200 + i);
+      // Each client needs `stripes` contiguous UDP ports.
+      options.data_port = static_cast<std::uint16_t>(39200 + i * 16);
+      options.stripes = stripes;
       fetches[i] = fobs::posix::fetch_file(options);
       rcs[i] = fetches[i].completed() ? 0 : 1;
     });
@@ -146,16 +155,32 @@ int run_demo() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string mode = argc > 1 ? argv[1] : "demo";
-  if (mode == "demo") return run_demo();
-  if (mode == "serve" && argc == 4) {
-    return run_server(argv[2], static_cast<std::uint16_t>(std::atoi(argv[3])));
+  // Split "--stripes N" out of the positional arguments.
+  int stripes = 1;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--stripes" && i + 1 < argc) {
+      stripes = std::atoi(argv[++i]);
+      continue;
+    }
+    args.emplace_back(argv[i]);
   }
-  if (mode == "fetch" && argc == 6) {
-    return run_fetch(argv[2], static_cast<std::uint16_t>(std::atoi(argv[3])), argv[4],
-                     argv[5], /*data_port=*/39200);
+  if (stripes < 1) stripes = 1;
+  const std::string mode = args.empty() ? "demo" : args[0];
+  if (mode == "demo") return run_demo(stripes);
+  if (mode == "serve" && args.size() == 3) {
+    // For serve, --stripes caps what striped clients may negotiate
+    // (default: the library default when the flag is absent).
+    return run_server(args[1], static_cast<std::uint16_t>(std::atoi(args[2].c_str())),
+                      stripes > 1 ? stripes : fobs::posix::FileServerOptions{}.max_stripes);
   }
-  std::printf("usage:\n  %s demo\n  %s serve <dir> <port>\n  %s fetch <host> <port> <name> <out>\n",
-              argv[0], argv[0], argv[0]);
+  if (mode == "fetch" && args.size() == 5) {
+    return run_fetch(args[1], static_cast<std::uint16_t>(std::atoi(args[2].c_str())), args[3],
+                     args[4], /*data_port=*/39200, stripes);
+  }
+  std::printf(
+      "usage:\n  %s demo [--stripes N]\n  %s serve <dir> <port> [--stripes N]\n"
+      "  %s fetch <host> <port> <name> <out> [--stripes N]\n",
+      argv[0], argv[0], argv[0]);
   return 2;
 }

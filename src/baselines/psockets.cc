@@ -3,6 +3,8 @@
 #include <cassert>
 #include <memory>
 
+#include "fobs/stripe/plan.h"
+
 namespace fobs::baselines {
 
 PsocketsResult run_psockets_transfer(fobs::sim::Network& network, Host& src, Host& dst,
@@ -22,9 +24,9 @@ PsocketsResult run_psockets_transfer(fobs::sim::Network& network, Host& src, Hos
     tracer->record(fobs::telemetry::EventType::kTransferStart, streams, bytes);
   }
 
-  const std::int64_t stripe = bytes / streams;
-  std::vector<std::int64_t> stripe_bytes(static_cast<std::size_t>(streams), stripe);
-  stripe_bytes.back() += bytes - stripe * streams;
+  // One shared partition rule with FOBS striping (fobs/stripe/plan.h):
+  // even split, remainder spread over the first streams.
+  const std::vector<std::int64_t> stripe_bytes = fobs::stripe::round_robin_split(bytes, streams);
 
   // Receiver-side accounting: sum of per-stream deliveries. Each server
   // connection reports a cumulative count, so track deltas.

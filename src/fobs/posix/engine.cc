@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "fobs/posix/port_allocator.h"
 #include "telemetry/metrics.h"
 
 namespace fobs::posix {
@@ -119,32 +120,19 @@ fobs::telemetry::EventTracer* TransferHandle::tracer() const {
 
 struct TransferEngine::Impl {
   explicit Impl(EngineOptions opts)
-      : options(opts), pool(opts.workers == 0 ? 0 : std::max<std::size_t>(1, opts.workers)) {
-    // A range reaching past port 65535 would wrap the uint16_t
-    // arithmetic below and hand out unintended low-numbered ports;
-    // clamp it to the valid tail (and treat base 0 — not a usable
-    // listening port — as "allocator disabled").
-    if (options.control_port_base == 0) {
-      options.control_port_count = 0;
-    } else {
-      const std::uint32_t room = 0x1'0000u - options.control_port_base;
-      options.control_port_count =
-          static_cast<std::uint16_t>(std::min<std::uint32_t>(options.control_port_count, room));
-    }
-    free_ports.reserve(options.control_port_count);
-    // Hand ports out in ascending order (pop_back takes from the end).
-    for (int i = static_cast<int>(options.control_port_count) - 1; i >= 0; --i) {
-      free_ports.push_back(static_cast<std::uint16_t>(options.control_port_base + i));
-    }
-  }
+      : options(opts),
+        ports(opts.control_port_base, opts.control_port_count),
+        pool(opts.workers == 0 ? 0 : std::max<std::size_t>(1, opts.workers)) {}
 
   EngineOptions options;
+  /// Range clamping (wrap past 65535, base 0 = disabled) lives in the
+  /// allocator itself; internally synchronized, so no `mu` here.
+  PortAllocator ports;
 
   mutable std::mutex mu;
   std::condition_variable idle_cv;
   std::unordered_map<std::uint64_t, std::shared_ptr<detail::Session>> live;
   std::uint64_t next_id = 1;
-  std::vector<std::uint16_t> free_ports;
 
   std::atomic<std::uint64_t> submitted{0};
   std::atomic<std::uint64_t> completed{0};
@@ -258,11 +246,9 @@ void TransferEngine::run_session(const std::shared_ptr<detail::Session>& session
 
 void TransferEngine::finish_session(const std::shared_ptr<detail::Session>& session) {
   bool idle = false;
+  impl_->ports.release(session->owned_control_port);
   {
     std::lock_guard lock(impl_->mu);
-    if (session->owned_control_port != 0) {
-      impl_->free_ports.push_back(session->owned_control_port);
-    }
     impl_->live.erase(session->id);
     idle = impl_->live.empty();
   }
@@ -270,22 +256,21 @@ void TransferEngine::finish_session(const std::shared_ptr<detail::Session>& sess
 }
 
 std::optional<std::uint16_t> TransferEngine::allocate_control_port() {
-  std::lock_guard lock(impl_->mu);
-  if (impl_->free_ports.empty()) return std::nullopt;
-  const std::uint16_t port = impl_->free_ports.back();
-  impl_->free_ports.pop_back();
-  return port;
+  return impl_->ports.allocate();
 }
 
-void TransferEngine::release_control_port(std::uint16_t port) {
-  if (port == 0) return;
-  std::lock_guard lock(impl_->mu);
-  impl_->free_ports.push_back(port);
+void TransferEngine::release_control_port(std::uint16_t port) { impl_->ports.release(port); }
+
+std::size_t TransferEngine::free_control_ports() const { return impl_->ports.free_count(); }
+
+std::size_t TransferEngine::control_port_capacity() const { return impl_->ports.capacity(); }
+
+std::optional<std::uint16_t> TransferEngine::allocate_control_port_block(std::size_t count) {
+  return impl_->ports.allocate_block(count);
 }
 
-std::size_t TransferEngine::free_control_ports() const {
-  std::lock_guard lock(impl_->mu);
-  return impl_->free_ports.size();
+void TransferEngine::release_control_port_block(std::uint16_t first, std::size_t count) {
+  impl_->ports.release_block(first, count);
 }
 
 bool TransferEngine::start_acceptor(std::uint16_t port,

@@ -30,6 +30,13 @@ namespace fobs::posix {
 
 class TransferEngine;
 
+// Striped-transfer types (fobs/stripe/striped_transfer.h). Forward
+// declared so plain engine users don't pull the striping layer in.
+struct StripedSenderOptions;
+struct StripedReceiverOptions;
+struct StripedResult;
+struct StripedSessionParams;
+
 namespace detail {
 struct Session;
 }
@@ -136,6 +143,34 @@ class TransferEngine {
   std::optional<std::uint16_t> allocate_control_port();
   void release_control_port(std::uint16_t port);
   [[nodiscard]] std::size_t free_control_ports() const;
+  /// Configured (post-clamp) allocator range size; 0 = disabled.
+  [[nodiscard]] std::size_t control_port_capacity() const;
+
+  /// Leases `count` *contiguous* ports (returns the first) for striped
+  /// transfers, which address per-stripe ports as base-plus-index.
+  /// nullopt when no contiguous run is free. Each port may be released
+  /// individually (e.g. as a session's owned_control_port) or all at
+  /// once via release_control_port_block.
+  std::optional<std::uint16_t> allocate_control_port_block(std::size_t count);
+  void release_control_port_block(std::uint16_t first, std::size_t count);
+
+  /// Striped transfers (see fobs/stripe/striped_transfer.h): negotiate
+  /// FOBSSTRP with the peer, run one session per stripe on this
+  /// engine's pool, and aggregate. Blocking — do not call from a pool
+  /// worker of this engine (the stripes need those workers); service
+  /// front-ends use submit_striped_send, whose negotiation runs inline
+  /// but whose aggregation completes via StripedSessionParams callbacks.
+  StripedResult run_striped_sender(const StripedSenderOptions& options,
+                                   std::span<const std::uint8_t> object);
+  StripedResult run_striped_receiver(const StripedReceiverOptions& options,
+                                     std::span<std::uint8_t> buffer);
+  /// Negotiates inline, then launches the per-stripe sender sessions
+  /// without waiting for them. Returns the accepted stripe count
+  /// (0 = negotiation produced a clean single-flow fallback session);
+  /// nullopt when nothing was launched (`error` says why).
+  std::optional<int> submit_striped_send(const StripedSenderOptions& options,
+                                         std::span<const std::uint8_t> object,
+                                         StripedSessionParams params, std::string* error = nullptr);
 
   /// Binds a TCP listener on `port` and dispatches every accepted
   /// connection to the worker pool as `handler(fd, peer_host)`. The

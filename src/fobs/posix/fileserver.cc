@@ -7,6 +7,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -15,6 +16,7 @@
 
 #include "common/log.h"
 #include "fobs/object.h"
+#include "fobs/stripe/striped_transfer.h"
 #include "telemetry/metrics.h"
 
 namespace fobs::posix {
@@ -144,8 +146,12 @@ void FileServer::handle_catalog(int fd, const std::string& peer_host) {
   }
   const auto space = request.find(' ');
   const std::string name = request.substr(0, space);
-  const int client_port =
-      space == std::string::npos ? 0 : std::atoi(request.c_str() + space + 1);
+  int client_port = 0;
+  int client_stripes = 1;  // optional third token: requested stripes
+  if (space != std::string::npos) {
+    std::sscanf(request.c_str() + space + 1, "%d %d", &client_port, &client_stripes);
+  }
+  const bool striped = client_stripes > 1 && options_.max_stripes > 1;
 
   if (stopping_.load(std::memory_order_relaxed)) {
     // Shed the request instead of starting a session the shutdown
@@ -178,6 +184,44 @@ void FileServer::handle_catalog(int fd, const std::string& peer_host) {
   send_line(fd,
             std::to_string(object->size()) + " " + std::to_string(*control_port) + "\n");
   ::close(fd);  // catalog exchange done; the transfer session takes over
+
+  if (striped) {
+    // The replied control port becomes the FOBSSTRP negotiation port;
+    // per-stripe control ports come out of the same engine allocator.
+    StripedSenderOptions striped_options;
+    striped_options.negotiation_port = *control_port;
+    striped_options.negotiation_port_owned = true;
+    striped_options.max_stripes =
+        std::min(options_.max_stripes, std::min(client_stripes, stripe::kMaxStripes));
+    striped_options.endpoint = options_.endpoint;
+    StripedSessionParams striped_params;
+    striped_params.keepalive = object;
+    striped_params.on_complete = [this, name, peer_host,
+                                  client_port](const StripedResult& result) {
+      if (result.completed()) {
+        completed_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        failed_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (!options_.quiet) {
+        std::printf("fobsd: %s -> %s:%d  %s (%d stripe%s%s, %.0f Mb/s)\n", name.c_str(),
+                    peer_host.c_str(), client_port, to_string(result.status),
+                    result.stripes, result.stripes == 1 ? "" : "s",
+                    result.fallback_single_flow ? ", fallback" : "", result.goodput_mbps);
+      }
+    };
+    started_.fetch_add(1, std::memory_order_relaxed);
+    std::string striped_error;
+    if (!engine_->submit_striped_send(striped_options, object->view(),
+                                      std::move(striped_params), &striped_error)) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      if (!options_.quiet) {
+        std::printf("fobsd: %s -> %s:%d  striped launch failed: %s\n", name.c_str(),
+                    peer_host.c_str(), client_port, striped_error.c_str());
+      }
+    }
+    return;
+  }
 
   SenderOptions send_options;
   send_options.receiver_host = peer_host;
@@ -251,7 +295,10 @@ FetchResult fetch_file(const FetchOptions& options) {
     }
     ::usleep(20'000);
   }
-  send_line(conn, options.name + " " + std::to_string(options.data_port) + "\n");
+  const int stripes = std::min(std::max(options.stripes, 1), stripe::kMaxStripes);
+  std::string catalog_line = options.name + " " + std::to_string(options.data_port);
+  if (stripes > 1) catalog_line += " " + std::to_string(stripes);
+  send_line(conn, catalog_line + "\n");
   std::string reply;
   const bool got_reply = recv_line(
       conn, Clock::now() + std::chrono::milliseconds(std::max(1, options.endpoint.timeout_ms)),
@@ -278,10 +325,10 @@ FetchResult fetch_file(const FetchOptions& options) {
   const bool resuming = options.resume && ::stat(partial_path.c_str(), &part_stat) == 0 &&
                         part_stat.st_size == static_cast<off_t>(size);
   if (!resuming) {
-    // No matching partial bytes: a leftover checkpoint describes data we
-    // do not have, and restoring it would leave silent zero-filled holes
-    // in the fetched file.
-    std::remove(checkpoint_path.c_str());
+    // No matching partial bytes: a leftover checkpoint (object-level or
+    // per-stripe sidecar) describes data we do not have, and restoring
+    // it would leave silent zero-filled holes in the fetched file.
+    remove_striped_checkpoints(checkpoint_path);
   } else if (!options.quiet) {
     std::printf("fobsd: found partial fetch %s, attempting resume\n", partial_path.c_str());
   }
@@ -303,17 +350,45 @@ FetchResult fetch_file(const FetchOptions& options) {
       std::printf("fobsd: cannot map %s; fetching without resume support\n",
                   partial_path.c_str());
     }
-    std::remove(checkpoint_path.c_str());
+    remove_striped_checkpoints(checkpoint_path);
     fallback.resize(static_cast<std::size_t>(size));
     buffer = fallback;
   }
-  const auto recv_result = receive_object(recv_options, buffer);
-  result.status = recv_result.status;
-  result.error = recv_result.error;
-  result.packets_restored = recv_result.packets_restored;
-  result.goodput_mbps = recv_result.goodput_mbps;
+  if (stripes > 1) {
+    // Striped fetch: negotiate FOBSSTRP on the replied control port and
+    // run one receive session per stripe on a local engine, all writing
+    // the shared mapping at plan offsets.
+    StripedReceiverOptions striped;
+    striped.sender_host = options.host;
+    striped.negotiation_port = static_cast<std::uint16_t>(control_port);
+    striped.data_port_base = options.data_port;
+    striped.stripes = stripes;
+    striped.layout = options.layout;
+    if (partial) striped.checkpoint_base = checkpoint_path;
+    striped.endpoint = options.endpoint;
+    EngineOptions engine_options;
+    engine_options.workers = static_cast<std::size_t>(stripes);
+    TransferEngine engine(engine_options);
+    const StripedResult striped_result = engine.run_striped_receiver(striped, buffer);
+    result.status = striped_result.status;
+    result.error = striped_result.error;
+    result.packets_restored = striped_result.packets_restored;
+    result.goodput_mbps = striped_result.goodput_mbps;
+    result.stripes = striped_result.stripes;
+    result.fallback_single_flow = striped_result.fallback_single_flow;
+    if (!options.quiet && striped_result.fallback_single_flow) {
+      std::printf("fobsd: server declined striping; fetched over one flow\n");
+    }
+  } else {
+    const auto recv_result = receive_object(recv_options, buffer);
+    result.status = recv_result.status;
+    result.error = recv_result.error;
+    result.packets_restored = recv_result.packets_restored;
+    result.goodput_mbps = recv_result.goodput_mbps;
+    result.stripes = 1;
+  }
   if (partial) partial->sync();
-  if (!recv_result.completed()) {
+  if (!result.completed()) {
     if (partial && !options.quiet) {
       std::printf("fobsd: kept partial bytes in %s for resume\n", partial_path.c_str());
     }

@@ -2,13 +2,19 @@
 // session engine — the library form of `fobsd`.
 //
 // Catalog protocol (one TCP connection per request):
-//   client -> "<name> <client-udp-port>\n"
+//   client -> "<name> <client-udp-port>[ <stripes>]\n"
 //   server -> "<size> <control-port>\n"     (size -1 = refused)
 // then the server pushes the file with a FOBS transfer: data to the
 // client's UDP port, the completion signal accepted on the per-session
 // control port, which is allocated from a range so many transfers can
-// run at once. Catalog sockets carry a receive timeout: a client that
-// connects and sends nothing stalls only its own pool worker for
+// run at once. A client that wants a striped transfer appends the
+// optional third token; the server then treats the replied control
+// port as a FOBSSTRP negotiation port (fobs/stripe/striped_transfer.h)
+// instead of a plain control port — pre-striping servers parse the
+// port with atoi and ignore the extra token, so a striped-capable
+// client degrades to one flow against them automatically. Catalog
+// sockets carry a receive timeout: a client that connects and sends
+// nothing stalls only its own pool worker for
 // `catalog_recv_timeout_ms`, never the accept loop.
 //
 // The fetch client is crash-resilient: it receives into a writable
@@ -42,6 +48,10 @@ struct FileServerOptions {
   std::string trace_dir;
   /// Suppress per-request stdout lines (tests).
   bool quiet = false;
+  /// Most stripes the server grants one striped request (further
+  /// clamped by free control ports and the object's packet count).
+  /// 1 refuses striping: striped clients degrade to a single flow.
+  int max_stripes = 8;
   /// Applied to every transfer session (timeout, packet size, ...).
   EndpointOptions endpoint;
 };
@@ -99,7 +109,13 @@ struct FetchOptions {
   /// Resume from `<out>.part` + `<out>.ckpt` when they match.
   bool resume = true;
   bool quiet = false;
-  /// Applied to the receive session.
+  /// Stripe count to request (> 1 enables FOBSSTRP negotiation; the
+  /// server may grant fewer). Data flows use ports
+  /// [data_port, data_port + stripes). Falls back to a single flow
+  /// against pre-striping servers.
+  int stripes = 1;
+  stripe::StripeLayout layout = stripe::StripeLayout::kContiguous;
+  /// Applied to the receive session(s).
   EndpointOptions endpoint;
 };
 
@@ -110,6 +126,9 @@ struct FetchResult {
   std::int64_t packets_restored = 0;  ///< resumed from a checkpoint
   double goodput_mbps = 0.0;
   std::uint64_t checksum = 0;  ///< FNV-1a of the fetched content
+  int stripes = 0;             ///< flows actually used (post-negotiation)
+  /// Striping was requested but the transfer ran as one plain flow.
+  bool fallback_single_flow = false;
 
   [[nodiscard]] bool completed() const { return status == TransferStatus::kCompleted; }
 };

@@ -98,6 +98,29 @@ bool cancel_requested(const std::atomic<bool>* cancel) {
   return cancel != nullptr && cancel->load(std::memory_order_relaxed);
 }
 
+/// Validates a striped session's StripeRef against the full-object span
+/// and swaps `spec` for the stripe-local geometry. The drivers then run
+/// completely unchanged in local sequence space; only payload offsets
+/// go through the plan. False (with `error` set) on any mismatch — a
+/// wrong plan silently corrupting offsets is the failure mode guarded
+/// against here.
+bool resolve_stripe(const stripe::StripeRef& ref, std::int64_t span_bytes,
+                    fobs::core::TransferSpec& spec, std::string& error) {
+  if (!ref.active()) return true;
+  const auto& plan = *ref.plan;
+  if (ref.index < 0 || ref.index >= plan.stripe_count()) {
+    error = "invalid options: stripe index outside the plan";
+    return false;
+  }
+  if (plan.spec().object_bytes != span_bytes ||
+      plan.spec().packet_bytes != spec.packet_bytes) {
+    error = "invalid options: stripe plan does not match this transfer's geometry";
+    return false;
+  }
+  spec = plan.stripe_spec(ref.index);
+  return true;
+}
+
 /// RAII file descriptor.
 class Fd {
  public:
@@ -336,6 +359,11 @@ SenderResult run_sender(const SenderOptions& options, std::span<const std::uint8
   }
   fobs::core::TransferSpec spec{static_cast<std::int64_t>(object.size()),
                                 options.endpoint.packet_bytes};
+  if (!resolve_stripe(options.stripe, spec.object_bytes, spec, result.error)) return result;
+  // Striped sessions: sequence numbers below are stripe-local; only the
+  // payload offset into the (whole-object) span goes through the plan.
+  const stripe::StripePlan* stripe_plan = options.stripe.plan.get();
+  const int stripe_index = options.stripe.index;
   result.packets_needed = spec.packet_count();
 
   std::optional<fobs::net::FaultInjector> faults;
@@ -534,7 +562,9 @@ SenderResult run_sender(const SenderOptions& options, std::span<const std::uint8
       const auto seq = core.select_next();
       if (!seq) break;
       const std::int64_t len = spec.payload_bytes(*seq);
-      const std::uint8_t* payload = object.data() + spec.offset_of(*seq);
+      const std::uint8_t* payload =
+          object.data() + (stripe_plan != nullptr ? stripe_plan->global_offset(stripe_index, *seq)
+                                                  : spec.offset_of(*seq));
       auto& header_buf = headers[static_cast<std::size_t>(selected)];
       encode_data_header(DataHeader{*seq, payload_crc(payload, static_cast<std::size_t>(len))},
                          header_buf.data());
@@ -649,6 +679,9 @@ ReceiverResult run_receiver(const ReceiverOptions& options, std::span<std::uint8
   }
   fobs::core::TransferSpec spec{static_cast<std::int64_t>(buffer.size()),
                                 options.endpoint.packet_bytes};
+  if (!resolve_stripe(options.stripe, spec.object_bytes, spec, result.error)) return result;
+  const stripe::StripePlan* stripe_plan = options.stripe.plan.get();
+  const int stripe_index = options.stripe.index;
 
   std::optional<fobs::net::FaultInjector> faults;
   if (!resolve_fault_plan(options.endpoint.fault_plan, faults, result.error)) return result;
@@ -831,8 +864,10 @@ ReceiverResult run_receiver(const ReceiverOptions& options, std::span<std::uint8
 
       const auto outcome = core.on_data_packet(header->seq);
       if (outcome.newly_received) {
-        std::memcpy(buffer.data() + spec.offset_of(header->seq), data + kDataHeaderSize,
-                    static_cast<std::size_t>(len));
+        const std::int64_t at = stripe_plan != nullptr
+                                    ? stripe_plan->global_offset(stripe_index, header->seq)
+                                    : spec.offset_of(header->seq);
+        std::memcpy(buffer.data() + at, data + kDataHeaderSize, static_cast<std::size_t>(len));
       }
       if (outcome.ack_due && sender_known) {
         auto msg = core.make_ack();

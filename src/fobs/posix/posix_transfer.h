@@ -29,6 +29,7 @@
 #include "fobs/posix/options.h"
 #include "fobs/receiver_core.h"
 #include "fobs/sender_core.h"
+#include "fobs/stripe/plan.h"
 #include "net/faults.h"
 
 namespace fobs::posix {
@@ -42,6 +43,12 @@ struct SenderOptions {
   /// fault plan, tracer, datagram I/O tuning — SO_SNDBUF now lives at
   /// `endpoint.io.send_buffer_bytes`).
   EndpointOptions endpoint;
+  /// When active, this session carries one stripe of a striped
+  /// transfer: sequence numbers (and ACKs, bitmaps, checkpoints) are
+  /// stripe-local, while `object` must still span the *whole* object —
+  /// payload bytes are gathered at plan-computed global offsets. Both
+  /// peers must agree on the plan (see fobs/stripe/negotiate.h).
+  stripe::StripeRef stripe;
 };
 
 struct SenderResult {
@@ -93,6 +100,12 @@ struct ReceiverOptions {
   /// overflow during ACK construction the paper's Figure 1 studies —
   /// now lives at `endpoint.io.recv_buffer_bytes`.
   EndpointOptions endpoint;
+  /// When active, this session receives one stripe into its plan-
+  /// computed disjoint offsets of the whole-object `buffer` (which all
+  /// stripes share — zero merge copies). checkpoint_path then persists
+  /// the stripe-local bitmap; see fobs/stripe/striped_transfer.h for
+  /// the merge into an object-level checkpoint.
+  stripe::StripeRef stripe;
 };
 
 struct ReceiverResult {

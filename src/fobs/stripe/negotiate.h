@@ -1,0 +1,74 @@
+// FOBSSTRP stripe-negotiation frames (control-channel TCP).
+//
+// Striping is negotiated before any data flows. The *receiver* opens a
+// TCP connection to the sender's negotiation port and sends a
+// StripeRequest: desired stripe count, layout, the object geometry it
+// expects, and one UDP data port per stripe. The sender answers with a
+// StripeResponse carrying the stripe count it accepted (possibly fewer;
+// 0 = striping refused, run single-flow) and one TCP control port per
+// accepted stripe. Each stripe then runs the ordinary FOBS wire
+// protocol on its own (data port, control port) pair.
+//
+// Backward compatibility: a pre-striping sender treats the FOBSSTRP
+// token as an unknown control frame and drops the connection, which the
+// receiver observes as a clean rejection and falls back to a plain
+// single-flow transfer. A pre-striping receiver never emits the token,
+// so old peers are never disturbed by this extension.
+//
+// Both frames are CRC32-sealed past the token, like resume frames.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fobs/stripe/plan.h"
+
+namespace fobs::stripe {
+
+inline constexpr std::uint64_t kStripeToken = 0x464F425353545250ull;  // "FOBSSTRP"
+inline constexpr std::uint8_t kStripeVersion = 1;
+
+/// Fixed part of a request: token, version, layout, reserved, stripe
+/// count (u16), object_bytes (u64), packet_bytes (u64). A u16 data port
+/// per stripe and a CRC32 trailer follow.
+inline constexpr std::size_t kStripeRequestFixedSize = 8 + 1 + 1 + 1 + 2 + 8 + 8;
+/// Fixed part of a response: token, version, layout, flags, accepted
+/// count (u16). A u16 control port per accepted stripe and a CRC32
+/// trailer follow.
+inline constexpr std::size_t kStripeResponseFixedSize = 8 + 1 + 1 + 1 + 2;
+inline constexpr std::size_t kStripeTrailerSize = 4;
+
+struct StripeRequest {
+  StripeLayout layout = StripeLayout::kContiguous;
+  /// Object geometry as the receiver believes it; the sender rejects a
+  /// mismatch outright rather than corrupting offsets.
+  std::int64_t object_bytes = 0;
+  std::int64_t packet_bytes = 0;
+  /// One UDP data port per requested stripe (size = requested count).
+  std::vector<std::uint16_t> data_ports;
+};
+
+struct StripeResponse {
+  StripeLayout layout = StripeLayout::kContiguous;
+  /// One TCP control port per *accepted* stripe; empty = refused, the
+  /// receiver should fall back to a single flow.
+  std::vector<std::uint16_t> control_ports;
+
+  [[nodiscard]] int accepted() const { return static_cast<int>(control_ports.size()); }
+};
+
+/// Wire sizes for stream reassembly (fixed + ports + trailer).
+[[nodiscard]] std::size_t stripe_request_size(int stripes);
+[[nodiscard]] std::size_t stripe_response_size(int stripes);
+
+std::vector<std::uint8_t> encode_stripe_request(const StripeRequest& request);
+std::vector<std::uint8_t> encode_stripe_response(const StripeResponse& response);
+
+/// Parse a complete frame; nullopt on bad token/version/CRC/shape or a
+/// stripe count outside [1, kMaxStripes] ([0, kMaxStripes] for the
+/// response — zero is the explicit refusal).
+std::optional<StripeRequest> decode_stripe_request(const std::uint8_t* data, std::size_t len);
+std::optional<StripeResponse> decode_stripe_response(const std::uint8_t* data, std::size_t len);
+
+}  // namespace fobs::stripe

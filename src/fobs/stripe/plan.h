@@ -1,0 +1,120 @@
+// Sans-io stripe planning: partition an object's packet sequence space
+// into K disjoint stripes.
+//
+// A StripePlan is pure bookkeeping shared by both transfer peers: given
+// the object geometry (TransferSpec), a stripe count, and a layout, it
+// maps every global packet sequence number to exactly one (stripe,
+// local-seq) pair and back. Each stripe then runs as an ordinary FOBS
+// sub-transfer over its *local* sequence space [0, stripe_packets(s)):
+// the sans-io cores, ACK streams, bitmaps, and checkpoints all operate
+// on local sequence numbers unchanged — only the byte offset into the
+// shared object is computed through the plan, so all stripes write into
+// one mmap'd buffer at disjoint offsets with zero merge copies.
+//
+// Two layouts:
+//  - kContiguous: stripe s owns one contiguous global range. Per-stripe
+//    packet counts are split evenly with the remainder spread over the
+//    first stripes (round_robin_split), so stripe byte ranges are
+//    contiguous file extents — friendly to readahead and to resuming a
+//    striped transfer with a plain single-flow fetch.
+//  - kRoundRobin: stripe of global g is g % K, local seq is g / K —
+//    the classic PSockets-style interleave that keeps all flows busy
+//    until the very end of the object.
+//
+// In both layouts local sequence numbers increase with global sequence
+// numbers within a stripe, and the only short packet (the object's last
+// packet) is the last *local* packet of the stripe that owns it. A
+// stripe-local TransferSpec{stripe_bytes(s), packet_bytes} therefore
+// yields the correct per-packet payload sizes without any special
+// casing in the drivers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fobs/types.h"
+
+namespace fobs::stripe {
+
+/// How global packet sequences are distributed over stripes.
+enum class StripeLayout : std::uint8_t {
+  kContiguous = 0,  ///< stripe s owns one contiguous global range
+  kRoundRobin = 1,  ///< stripe of global g is g % K
+};
+
+[[nodiscard]] const char* to_string(StripeLayout layout);
+
+/// Upper bound on stripes a peer may request or accept. Keeps the
+/// FOBSSTRP frame small and bounds per-transfer socket/session fan-out.
+inline constexpr int kMaxStripes = 64;
+
+/// Splits `total` items into `parts` buckets as evenly as possible,
+/// spreading the remainder over the *first* buckets (bucket i gets
+/// total/parts + (i < total%parts)). This is the one shared partition
+/// rule: StripePlan uses it for per-stripe packet counts, and the
+/// PSockets baseline uses it for per-stream byte counts.
+[[nodiscard]] std::vector<std::int64_t> round_robin_split(std::int64_t total, int parts);
+
+class StripePlan {
+ public:
+  StripePlan() = default;
+
+  /// Builds a plan, or returns false and fills `error` when the request
+  /// is unsatisfiable: invalid geometry, stripes outside
+  /// [1, kMaxStripes], or more stripes than packets (an empty stripe
+  /// would dead-lock its sub-transfer). Callers that want best-effort
+  /// behaviour clamp with max_stripes() first.
+  [[nodiscard]] static bool make(core::TransferSpec spec, int stripes, StripeLayout layout,
+                                 StripePlan* out, std::string* error = nullptr);
+
+  /// Largest usable stripe count for this geometry:
+  /// min(kMaxStripes, packet_count), and 0 for an empty object.
+  [[nodiscard]] static int max_stripes(const core::TransferSpec& spec);
+
+  [[nodiscard]] int stripe_count() const { return stripe_count_; }
+  [[nodiscard]] StripeLayout layout() const { return layout_; }
+  /// Geometry of the whole object.
+  [[nodiscard]] const core::TransferSpec& spec() const { return spec_; }
+
+  /// Packets owned by stripe `s` (>= 1 for every stripe).
+  [[nodiscard]] std::int64_t stripe_packets(int s) const;
+  /// Data bytes owned by stripe `s`; sums to spec().object_bytes.
+  [[nodiscard]] std::int64_t stripe_bytes(int s) const;
+  /// Geometry of stripe `s` viewed as a standalone transfer. Its
+  /// payload_bytes(local) matches the owning global packet exactly.
+  [[nodiscard]] core::TransferSpec stripe_spec(int s) const {
+    return {stripe_bytes(s), spec_.packet_bytes};
+  }
+
+  /// Global sequence carried by stripe `s`'s local packet `local`.
+  [[nodiscard]] core::PacketSeq to_global(int s, core::PacketSeq local) const;
+  /// Inverse of to_global: (stripe, local) owning global packet `g`.
+  [[nodiscard]] std::pair<int, core::PacketSeq> to_local(core::PacketSeq global) const;
+  /// Byte offset *within the whole object* of stripe `s`'s packet
+  /// `local` — the one place striped drivers diverge from single-flow.
+  [[nodiscard]] std::int64_t global_offset(int s, core::PacketSeq local) const {
+    return spec_.offset_of(to_global(s, local));
+  }
+
+ private:
+  core::TransferSpec spec_;
+  StripeLayout layout_ = StripeLayout::kContiguous;
+  int stripe_count_ = 1;
+  /// kContiguous only: prefix[s] = first global seq of stripe s;
+  /// prefix[stripe_count_] = packet_count. Empty for kRoundRobin.
+  std::vector<std::int64_t> prefix_;
+};
+
+/// A sub-transfer's view of the plan: which stripe of which plan this
+/// session carries. Default-constructed (null plan) means "unstriped".
+struct StripeRef {
+  std::shared_ptr<const StripePlan> plan;
+  int index = 0;
+
+  [[nodiscard]] bool active() const { return plan != nullptr; }
+};
+
+}  // namespace fobs::stripe

@@ -1,0 +1,655 @@
+// Striped multi-flow FOBS: the acceptance suite for the striping
+// subsystem (fobs/stripe/).
+//
+//  - StripePlan: both layouts partition the packet space disjointly and
+//    completely, the shared round_robin_split rule, rejection edges.
+//  - FOBSSTRP codec: round-trips and garbage rejection.
+//  - PortAllocator: contiguous block leases, exhaustion, fragmentation,
+//    multi-threaded contention, and the engine's block API.
+//  - Checkpoints: object-level <-> per-stripe sidecar merge/split.
+//  - Loopback transfers over real sockets: a 4-stripe >= 64 MiB
+//    transfer lands byte-identical (checksum-verified); killing one
+//    stripe's flow mid-transfer degrades but stays resumable, and the
+//    resume completes byte-identical; a striped fetch against a plain
+//    pre-striping sender falls back to one flow cleanly.
+//
+// Port block: 37300-37499 (test_engine owns 37000-37099, fileserver
+// 37100-37199, fault suites 38xxx/39xxx).
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bitmap.h"
+#include "fobs/object.h"
+#include "fobs/posix/checkpoint.h"
+#include "fobs/posix/engine.h"
+#include "fobs/posix/fileserver.h"
+#include "fobs/posix/port_allocator.h"
+#include "fobs/stripe/negotiate.h"
+#include "fobs/stripe/plan.h"
+#include "fobs/stripe/striped_transfer.h"
+
+namespace fobs {
+namespace {
+
+using core::TransferSpec;
+using stripe::StripeLayout;
+using stripe::StripePlan;
+
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t len) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+// ---------------------------------------------------------------------------
+// StripePlan
+// ---------------------------------------------------------------------------
+
+void expect_partition_is_disjoint_and_complete(const StripePlan& plan) {
+  const auto& spec = plan.spec();
+  const std::int64_t packets = spec.packet_count();
+  std::int64_t total_packets = 0;
+  std::int64_t total_bytes = 0;
+  std::set<std::int64_t> seen;
+  for (int s = 0; s < plan.stripe_count(); ++s) {
+    EXPECT_GE(plan.stripe_packets(s), 1) << "stripe " << s << " is empty";
+    total_packets += plan.stripe_packets(s);
+    total_bytes += plan.stripe_bytes(s);
+    for (std::int64_t local = 0; local < plan.stripe_packets(s); ++local) {
+      const auto global = plan.to_global(s, local);
+      EXPECT_GE(global, 0);
+      EXPECT_LT(global, packets);
+      EXPECT_TRUE(seen.insert(global).second) << "global " << global << " owned twice";
+      // to_local is the exact inverse.
+      const auto [back_s, back_local] = plan.to_local(global);
+      EXPECT_EQ(back_s, s);
+      EXPECT_EQ(back_local, local);
+      // The plan's offset matches the whole-object offset of the
+      // global packet, and the stripe-local spec's payload size
+      // matches the global packet's payload size.
+      EXPECT_EQ(plan.global_offset(s, local), spec.offset_of(global));
+      EXPECT_EQ(plan.stripe_spec(s).payload_bytes(local), spec.payload_bytes(global));
+    }
+  }
+  EXPECT_EQ(total_packets, packets);
+  EXPECT_EQ(total_bytes, spec.object_bytes);
+  EXPECT_EQ(static_cast<std::int64_t>(seen.size()), packets);
+}
+
+TEST(StripePlan, PartitionsAreDisjointAndCompleteForBothLayouts) {
+  // Geometries chosen to cover: even split, remainder packets, a short
+  // last packet, stripes == packets, and a single packet.
+  const std::vector<TransferSpec> specs = {
+      {64 * 1024, 1024},     // 64 even packets
+      {65 * 1024 + 17, 1024},  // short last packet, remainder spread
+      {7 * 512 + 100, 512},  // 8 packets, short tail
+      {1000, 1000},          // exactly one packet
+  };
+  for (const auto& spec : specs) {
+    for (const auto layout : {StripeLayout::kContiguous, StripeLayout::kRoundRobin}) {
+      const int max = StripePlan::max_stripes(spec);
+      for (int stripes : {1, 2, 3, 4, max}) {
+        if (stripes < 1 || stripes > max) continue;
+        StripePlan plan;
+        std::string error;
+        ASSERT_TRUE(StripePlan::make(spec, stripes, layout, &plan, &error))
+            << to_string(layout) << " x" << stripes << ": " << error;
+        expect_partition_is_disjoint_and_complete(plan);
+      }
+    }
+  }
+}
+
+TEST(StripePlan, ShortLastPacketIsTheLastLocalPacketOfItsStripe) {
+  const TransferSpec spec{10 * 1024 + 7, 1024};  // 11 packets, last is 7 B
+  for (const auto layout : {StripeLayout::kContiguous, StripeLayout::kRoundRobin}) {
+    StripePlan plan;
+    ASSERT_TRUE(StripePlan::make(spec, 4, layout, &plan));
+    const auto [owner, local] = plan.to_local(spec.packet_count() - 1);
+    EXPECT_EQ(local, plan.stripe_packets(owner) - 1)
+        << to_string(layout) << ": short packet must be its stripe's last local packet";
+    EXPECT_EQ(plan.stripe_spec(owner).payload_bytes(local), 7);
+  }
+}
+
+TEST(StripePlan, RejectsUnsatisfiableRequests) {
+  StripePlan plan;
+  std::string error;
+  // More stripes than packets: an empty stripe would dead-lock.
+  EXPECT_FALSE(StripePlan::make({4 * 1024, 1024}, 5, StripeLayout::kContiguous, &plan, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(StripePlan::make({4 * 1024, 1024}, 0, StripeLayout::kContiguous, &plan));
+  EXPECT_FALSE(StripePlan::make({0, 1024}, 1, StripeLayout::kContiguous, &plan));
+  EXPECT_FALSE(StripePlan::make({1024, 0}, 1, StripeLayout::kContiguous, &plan));
+  // max_stripes is the usable clamp.
+  EXPECT_EQ(StripePlan::max_stripes({4 * 1024, 1024}), 4);
+  EXPECT_EQ(StripePlan::max_stripes({1024 * 1024, 1024}), stripe::kMaxStripes);
+  EXPECT_EQ(StripePlan::max_stripes({0, 1024}), 0);
+}
+
+TEST(StripePlan, RoundRobinSplitFrontLoadsTheRemainder) {
+  // The one shared partition rule (also used by the PSockets baseline):
+  // bucket i gets total/parts + (i < total % parts).
+  const auto split = stripe::round_robin_split(10, 4);
+  EXPECT_EQ(split, (std::vector<std::int64_t>{3, 3, 2, 2}));
+  const auto even = stripe::round_robin_split(8, 4);
+  EXPECT_EQ(even, (std::vector<std::int64_t>{2, 2, 2, 2}));
+  const auto big = stripe::round_robin_split(40'000'000, 7);
+  EXPECT_EQ(std::accumulate(big.begin(), big.end(), std::int64_t{0}), 40'000'000);
+  EXPECT_LE(big.front() - big.back(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// FOBSSTRP codec
+// ---------------------------------------------------------------------------
+
+TEST(StripeNegotiate, RequestRoundTrips) {
+  stripe::StripeRequest request;
+  request.layout = StripeLayout::kRoundRobin;
+  request.object_bytes = 123'456'789;
+  request.packet_bytes = 8192;
+  request.data_ports = {40001, 40002, 40003};
+  const auto wire = stripe::encode_stripe_request(request);
+  EXPECT_EQ(wire.size(), stripe::stripe_request_size(3));
+  const auto decoded = stripe::decode_stripe_request(wire.data(), wire.size());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->layout, request.layout);
+  EXPECT_EQ(decoded->object_bytes, request.object_bytes);
+  EXPECT_EQ(decoded->packet_bytes, request.packet_bytes);
+  EXPECT_EQ(decoded->data_ports, request.data_ports);
+}
+
+TEST(StripeNegotiate, ResponseRoundTripsIncludingRefusal) {
+  stripe::StripeResponse response;
+  response.layout = StripeLayout::kContiguous;
+  response.control_ports = {41001, 41002};
+  const auto wire = stripe::encode_stripe_response(response);
+  const auto decoded = stripe::decode_stripe_response(wire.data(), wire.size());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->accepted(), 2);
+  EXPECT_EQ(decoded->control_ports, response.control_ports);
+
+  // Zero accepted stripes is the explicit "run single-flow" refusal.
+  const auto refusal_wire = stripe::encode_stripe_response({StripeLayout::kContiguous, {}});
+  const auto refusal = stripe::decode_stripe_response(refusal_wire.data(), refusal_wire.size());
+  ASSERT_TRUE(refusal.has_value());
+  EXPECT_EQ(refusal->accepted(), 0);
+}
+
+TEST(StripeNegotiate, RejectsGarbage) {
+  stripe::StripeRequest request;
+  request.object_bytes = 4096;
+  request.packet_bytes = 1024;
+  request.data_ports = {40001};
+  auto wire = stripe::encode_stripe_request(request);
+  // Bad token.
+  auto bad_token = wire;
+  bad_token[0] ^= 0xFF;
+  EXPECT_FALSE(stripe::decode_stripe_request(bad_token.data(), bad_token.size()).has_value());
+  // Bad version.
+  auto bad_version = wire;
+  bad_version[8] = 99;
+  EXPECT_FALSE(
+      stripe::decode_stripe_request(bad_version.data(), bad_version.size()).has_value());
+  // Flipped payload bit breaks the CRC seal.
+  auto bad_crc = wire;
+  bad_crc[15] ^= 0x01;
+  EXPECT_FALSE(stripe::decode_stripe_request(bad_crc.data(), bad_crc.size()).has_value());
+  // Truncated frame.
+  EXPECT_FALSE(stripe::decode_stripe_request(wire.data(), wire.size() - 1).has_value());
+  // A zero-stripe *request* is malformed (only responses may refuse).
+  stripe::StripeRequest empty;
+  empty.object_bytes = 4096;
+  empty.packet_bytes = 1024;
+  const auto empty_wire = stripe::encode_stripe_request(empty);
+  EXPECT_FALSE(stripe::decode_stripe_request(empty_wire.data(), empty_wire.size()).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// PortAllocator block leases
+// ---------------------------------------------------------------------------
+
+TEST(PortAllocator, BlockLeaseIsContiguousAndFirstFit) {
+  posix::PortAllocator ports(40000, 16);
+  const auto a = ports.allocate_block(4);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 40000);
+  const auto b = ports.allocate_block(4);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*b, 40004);
+  EXPECT_EQ(ports.free_count(), 8u);
+  ports.release_block(*a, 4);
+  // First fit: the freed low block is reused.
+  const auto c = ports.allocate_block(3);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, 40000);
+}
+
+TEST(PortAllocator, BlockExhaustionAndFragmentation) {
+  posix::PortAllocator ports(40100, 8);
+  const auto a = ports.allocate_block(8);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_FALSE(ports.allocate_block(1).has_value());  // exhausted
+  // Free a single port in the middle: a 2-block cannot fit, a single
+  // allocation can.
+  ports.release(40103);
+  EXPECT_FALSE(ports.allocate_block(2).has_value());
+  const auto single = ports.allocate();
+  ASSERT_TRUE(single.has_value());
+  EXPECT_EQ(*single, 40103);
+  // Freeing two adjacent ports makes a 2-block fit again.
+  ports.release(40104);
+  ports.release(40105);
+  const auto pair = ports.allocate_block(2);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_EQ(*pair, 40104);
+  // Oversized and zero-sized requests never succeed.
+  EXPECT_FALSE(ports.allocate_block(9).has_value());
+  EXPECT_FALSE(ports.allocate_block(0).has_value());
+}
+
+TEST(PortAllocator, ConcurrentBlockLeasesNeverOverlap) {
+  posix::PortAllocator ports(41000, 64);
+  std::atomic<bool> overlap{false};
+  std::atomic<int> leases{0};
+  std::mutex mu;
+  std::set<std::uint16_t> in_use;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      const std::size_t want = 1 + static_cast<std::size_t>(t % 4);
+      for (int i = 0; i < 200; ++i) {
+        const auto first = ports.allocate_block(want);
+        if (!first) continue;
+        {
+          std::lock_guard lock(mu);
+          for (std::size_t j = 0; j < want; ++j) {
+            if (!in_use.insert(static_cast<std::uint16_t>(*first + j)).second) {
+              overlap.store(true);
+            }
+          }
+        }
+        leases.fetch_add(1);
+        {
+          std::lock_guard lock(mu);
+          for (std::size_t j = 0; j < want; ++j) {
+            in_use.erase(static_cast<std::uint16_t>(*first + j));
+          }
+        }
+        ports.release_block(*first, want);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(overlap.load()) << "two threads held the same port at once";
+  EXPECT_GT(leases.load(), 0);
+  EXPECT_EQ(ports.free_count(), 64u);  // everything returned
+}
+
+TEST(PortAllocator, EngineExposesBlockLeases) {
+  posix::EngineOptions options;
+  options.workers = 1;
+  options.control_port_base = 37460;
+  options.control_port_count = 8;
+  posix::TransferEngine engine(options);
+  EXPECT_EQ(engine.control_port_capacity(), 8u);
+  const auto block = engine.allocate_control_port_block(4);
+  ASSERT_TRUE(block.has_value());
+  EXPECT_EQ(*block, 37460);
+  EXPECT_EQ(engine.free_control_ports(), 4u);
+  EXPECT_FALSE(engine.allocate_control_port_block(5).has_value());
+  // Block ports may be released individually (sessions own one each).
+  engine.release_control_port(static_cast<std::uint16_t>(*block + 1));
+  EXPECT_EQ(engine.free_control_ports(), 5u);
+  engine.release_control_port_block(*block, 4);  // re-release is ignored
+  EXPECT_EQ(engine.control_port_capacity(), 8u);
+  EXPECT_EQ(engine.free_control_ports(), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Striped checkpoints
+// ---------------------------------------------------------------------------
+
+TEST(StripedCheckpoint, SplitThenMergeRoundTripsTheBitmap) {
+  const std::string base = ::testing::TempDir() + "fobs_stripes_roundtrip.ckpt";
+  posix::remove_striped_checkpoints(base);
+  const TransferSpec spec{64 * 1024 + 321, 4096};
+  StripePlan plan;
+  ASSERT_TRUE(StripePlan::make(spec, 4, StripeLayout::kRoundRobin, &plan));
+  const auto packets = static_cast<std::size_t>(spec.packet_count());
+
+  // Object-level checkpoint with every third packet received.
+  util::Bitmap original(packets);
+  for (std::size_t i = 0; i < packets; i += 3) original.set(i);
+  posix::Checkpoint object_level;
+  object_level.object_bytes = spec.object_bytes;
+  object_level.packet_bytes = spec.packet_bytes;
+  object_level.received_count = static_cast<std::int64_t>(original.count());
+  object_level.bitmap = original.extract_range(0, packets);
+  ASSERT_TRUE(posix::save_checkpoint(base, object_level));
+
+  // Split: base is consumed, per-stripe sidecars appear in stripe-local
+  // geometry.
+  ASSERT_TRUE(posix::split_striped_checkpoint(base, plan));
+  EXPECT_FALSE(posix::load_checkpoint(base).has_value());
+  std::int64_t sidecar_bits = 0;
+  for (int s = 0; s < plan.stripe_count(); ++s) {
+    const auto sidecar = posix::load_checkpoint(posix::stripe_checkpoint_path(base, s));
+    if (!sidecar) continue;
+    EXPECT_EQ(sidecar->object_bytes, plan.stripe_bytes(s));
+    EXPECT_EQ(sidecar->packet_bytes, spec.packet_bytes);
+    sidecar_bits += sidecar->received_count;
+  }
+  EXPECT_EQ(sidecar_bits, static_cast<std::int64_t>(original.count()));
+
+  // Merge: the object-level bitmap is recomposed exactly.
+  const auto merged = posix::merge_striped_checkpoint(base, plan);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->object_bytes, spec.object_bytes);
+  EXPECT_EQ(merged->received_count, static_cast<std::int64_t>(original.count()));
+  util::Bitmap recomposed(packets);
+  recomposed.merge_range(0, packets, merged->bitmap.data(), merged->bitmap.size());
+  for (std::size_t i = 0; i < packets; ++i) {
+    EXPECT_EQ(recomposed.test(i), original.test(i)) << "bit " << i;
+  }
+  posix::remove_striped_checkpoints(base);
+}
+
+TEST(StripedCheckpoint, MergeIgnoresIncompatibleSidecars) {
+  const std::string base = ::testing::TempDir() + "fobs_stripes_incompat.ckpt";
+  posix::remove_striped_checkpoints(base);
+  const TransferSpec spec{16 * 1024, 1024};
+  StripePlan plan;
+  ASSERT_TRUE(StripePlan::make(spec, 2, StripeLayout::kContiguous, &plan));
+  // A sidecar from a different plan (wrong stripe geometry) is skipped
+  // rather than corrupting the merge.
+  posix::Checkpoint foreign;
+  foreign.object_bytes = 999;
+  foreign.packet_bytes = 128;
+  util::Bitmap bits(8);
+  bits.set_all();
+  foreign.received_count = 8;
+  foreign.bitmap = bits.extract_range(0, 8);
+  ASSERT_TRUE(posix::save_checkpoint(posix::stripe_checkpoint_path(base, 0), foreign));
+  EXPECT_FALSE(posix::merge_striped_checkpoint(base, plan).has_value());
+  posix::remove_striped_checkpoints(base);
+}
+
+// ---------------------------------------------------------------------------
+// Loopback striped transfers (real sockets)
+// ---------------------------------------------------------------------------
+
+struct LoopbackRun {
+  posix::StripedResult sender;
+  posix::StripedResult receiver;
+};
+
+/// Runs one striped sender/receiver pair over loopback; the sender on
+/// its own thread (run_striped_* must not run on an engine worker).
+LoopbackRun run_striped_loopback(posix::TransferEngine& sender_engine,
+                                 posix::TransferEngine& receiver_engine,
+                                 const posix::StripedSenderOptions& send,
+                                 const posix::StripedReceiverOptions& recv,
+                                 std::span<const std::uint8_t> object,
+                                 std::span<std::uint8_t> buffer) {
+  LoopbackRun run;
+  std::thread sender(
+      [&] { run.sender = sender_engine.run_striped_sender(send, object); });
+  run.receiver = receiver_engine.run_striped_receiver(recv, buffer);
+  sender.join();
+  return run;
+}
+
+TEST(StripedTransfer, FourStripes64MiBLandByteIdentical) {
+  constexpr std::int64_t kObjectBytes = 64 * 1024 * 1024;
+  constexpr std::int64_t kPacketBytes = 8 * 1024;
+  auto object = core::TransferObject::pattern(kObjectBytes, 0x57121FE5);
+  std::vector<std::uint8_t> buffer(static_cast<std::size_t>(kObjectBytes), 0);
+
+  posix::EngineOptions sender_options;
+  sender_options.workers = 4;
+  sender_options.control_port_base = 37320;
+  sender_options.control_port_count = 8;
+  posix::TransferEngine sender_engine(sender_options);
+  posix::EngineOptions receiver_options;
+  receiver_options.workers = 4;
+  posix::TransferEngine receiver_engine(receiver_options);
+
+  posix::StripedSenderOptions send;
+  send.negotiation_port = 37310;
+  send.endpoint.packet_bytes = kPacketBytes;
+  posix::StripedReceiverOptions recv;
+  recv.negotiation_port = 37310;
+  recv.data_port_base = 37312;
+  recv.stripes = 4;
+  recv.endpoint.packet_bytes = kPacketBytes;
+
+  const auto run =
+      run_striped_loopback(sender_engine, receiver_engine, send, recv, object.view(), buffer);
+  ASSERT_TRUE(run.receiver.completed()) << run.receiver.error;
+  ASSERT_TRUE(run.sender.completed()) << run.sender.error;
+  EXPECT_EQ(run.receiver.stripes, 4);
+  EXPECT_EQ(run.receiver.stripes_completed, 4);
+  EXPECT_FALSE(run.receiver.fallback_single_flow);
+  EXPECT_EQ(run.sender.stripes, 4);
+  // Byte-identical, checksum-verified.
+  EXPECT_EQ(fnv1a(buffer.data(), buffer.size()),
+            fnv1a(object.view().data(), object.view().size()));
+  EXPECT_EQ(std::memcmp(buffer.data(), object.view().data(), buffer.size()), 0);
+  EXPECT_GT(run.receiver.goodput_mbps, 0.0);
+}
+
+TEST(StripedTransfer, RoundRobinLayoutLandsByteIdentical) {
+  constexpr std::int64_t kObjectBytes = 4 * 1024 * 1024 + 999;  // short last packet
+  constexpr std::int64_t kPacketBytes = 4 * 1024;
+  auto object = core::TransferObject::pattern(kObjectBytes, 0x0BB1);
+  std::vector<std::uint8_t> buffer(static_cast<std::size_t>(kObjectBytes), 0);
+
+  posix::EngineOptions sender_options;
+  sender_options.workers = 3;
+  sender_options.control_port_base = 37340;
+  sender_options.control_port_count = 8;
+  posix::TransferEngine sender_engine(sender_options);
+  posix::EngineOptions receiver_options;
+  receiver_options.workers = 3;
+  posix::TransferEngine receiver_engine(receiver_options);
+
+  posix::StripedSenderOptions send;
+  send.negotiation_port = 37330;
+  send.endpoint.packet_bytes = kPacketBytes;
+  posix::StripedReceiverOptions recv;
+  recv.negotiation_port = 37330;
+  recv.data_port_base = 37332;
+  recv.stripes = 3;
+  recv.layout = StripeLayout::kRoundRobin;
+  recv.endpoint.packet_bytes = kPacketBytes;
+
+  const auto run =
+      run_striped_loopback(sender_engine, receiver_engine, send, recv, object.view(), buffer);
+  ASSERT_TRUE(run.receiver.completed()) << run.receiver.error;
+  EXPECT_EQ(run.receiver.layout, StripeLayout::kRoundRobin);
+  EXPECT_EQ(run.receiver.stripes, 3);
+  EXPECT_EQ(std::memcmp(buffer.data(), object.view().data(), buffer.size()), 0);
+}
+
+TEST(StripedTransfer, KilledStripeDegradesThenResumesByteIdentical) {
+  constexpr std::int64_t kObjectBytes = 8 * 1024 * 1024;
+  constexpr std::int64_t kPacketBytes = 8 * 1024;
+  auto object = core::TransferObject::pattern(kObjectBytes, 0xDEAD51);
+  std::vector<std::uint8_t> buffer(static_cast<std::size_t>(kObjectBytes), 0);
+  const std::string checkpoint_base = ::testing::TempDir() + "fobs_stripes_kill.ckpt";
+  posix::remove_striped_checkpoints(checkpoint_base);
+
+  posix::EngineOptions sender_options;
+  sender_options.workers = 4;
+  sender_options.control_port_base = 37360;
+  sender_options.control_port_count = 8;
+  posix::EngineOptions receiver_options;
+  receiver_options.workers = 4;
+
+  // Attempt 1: stripe 1's data flow is blackholed from the first packet
+  // — that stripe can never progress, the other three complete.
+  {
+    posix::TransferEngine sender_engine(sender_options);
+    posix::TransferEngine receiver_engine(receiver_options);
+    posix::StripedSenderOptions send;
+    send.negotiation_port = 37350;
+    send.endpoint.packet_bytes = kPacketBytes;
+    send.endpoint.timeout_ms = 4'000;  // give up on the dead stripe fast
+    posix::StripedReceiverOptions recv;
+    recv.negotiation_port = 37350;
+    recv.data_port_base = 37354;
+    recv.stripes = 4;
+    recv.checkpoint_base = checkpoint_base;
+    recv.endpoint.packet_bytes = kPacketBytes;
+    recv.endpoint.timeout_ms = 4'000;
+    recv.stripe_fault_plans = {"", "seed=7;data.blackhole=0+1000000", "", ""};
+
+    const auto run = run_striped_loopback(sender_engine, receiver_engine, send, recv,
+                                          object.view(), buffer);
+    EXPECT_FALSE(run.receiver.completed());
+    EXPECT_TRUE(run.receiver.degraded())
+        << "expected some stripes delivered, got " << run.receiver.stripes_completed
+        << " of " << run.receiver.stripes << ": " << run.receiver.error;
+    EXPECT_EQ(run.receiver.stripes_completed, 3);
+    EXPECT_TRUE(run.receiver.resumable);
+    EXPECT_NE(run.receiver.stripe_receivers[1].status, posix::TransferStatus::kCompleted);
+    // The merged object-level checkpoint exists, so even a plain
+    // single-flow retry could resume this transfer.
+    StripePlan plan;
+    ASSERT_TRUE(StripePlan::make({kObjectBytes, kPacketBytes}, 4,
+                                 StripeLayout::kContiguous, &plan));
+    EXPECT_TRUE(posix::load_checkpoint(checkpoint_base).has_value());
+  }
+
+  // Attempt 2: same buffer, no faults — resumes from the sidecars and
+  // completes without refetching the three delivered stripes.
+  {
+    posix::TransferEngine sender_engine(sender_options);
+    posix::TransferEngine receiver_engine(receiver_options);
+    posix::StripedSenderOptions send;
+    send.negotiation_port = 37350;
+    send.endpoint.packet_bytes = kPacketBytes;
+    posix::StripedReceiverOptions recv;
+    recv.negotiation_port = 37350;
+    recv.data_port_base = 37354;
+    recv.stripes = 4;
+    recv.checkpoint_base = checkpoint_base;
+    recv.endpoint.packet_bytes = kPacketBytes;
+
+    const auto run = run_striped_loopback(sender_engine, receiver_engine, send, recv,
+                                          object.view(), buffer);
+    ASSERT_TRUE(run.receiver.completed()) << run.receiver.error;
+    EXPECT_GT(run.receiver.packets_restored, 0)
+        << "the resume must restore the completed stripes from checkpoints";
+    EXPECT_EQ(std::memcmp(buffer.data(), object.view().data(), buffer.size()), 0);
+    EXPECT_EQ(fnv1a(buffer.data(), buffer.size()),
+              fnv1a(object.view().data(), object.view().size()));
+  }
+  posix::remove_striped_checkpoints(checkpoint_base);
+}
+
+TEST(StripedTransfer, FallsBackToOneFlowAgainstPlainSender) {
+  constexpr std::int64_t kObjectBytes = 1 * 1024 * 1024 + 77;
+  constexpr std::int64_t kPacketBytes = 4 * 1024;
+  auto object = core::TransferObject::pattern(kObjectBytes, 0xFA11);
+  std::vector<std::uint8_t> buffer(static_cast<std::size_t>(kObjectBytes), 0);
+
+  // A pre-striping sender: a plain session that has never heard of
+  // FOBSSTRP. It drops the unknown token and keeps accepting, so the
+  // receiver's fallback single flow pairs with it cleanly.
+  posix::EngineOptions sender_options;
+  sender_options.workers = 1;
+  posix::TransferEngine sender_engine(sender_options);
+  posix::SenderOptions plain;
+  plain.data_port = 37390;
+  plain.control_port = 37391;
+  plain.endpoint.packet_bytes = kPacketBytes;
+  auto handle = sender_engine.submit_send(plain, object.view());
+
+  posix::EngineOptions receiver_options;
+  receiver_options.workers = 1;
+  posix::TransferEngine receiver_engine(receiver_options);
+  posix::StripedReceiverOptions recv;
+  recv.negotiation_port = 37391;  // the plain sender's control port
+  recv.data_port_base = 37390;
+  recv.stripes = 4;
+  recv.endpoint.packet_bytes = kPacketBytes;
+  const auto result = receiver_engine.run_striped_receiver(recv, buffer);
+
+  ASSERT_TRUE(result.completed()) << result.error;
+  EXPECT_TRUE(result.fallback_single_flow);
+  EXPECT_EQ(result.stripes, 1);
+  EXPECT_EQ(handle.wait(), posix::TransferStatus::kCompleted);
+  EXPECT_EQ(std::memcmp(buffer.data(), object.view().data(), buffer.size()), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Striped fetch through the file server
+// ---------------------------------------------------------------------------
+
+TEST(StripedTransfer, StripedFetchThroughFileServerIsByteIdentical) {
+  const std::string dir = ::testing::TempDir() + "fobs_stripes_fetch";
+  ::mkdir(dir.c_str(), 0755);
+  auto original = core::TransferObject::pattern(6 * 1024 * 1024 + 13, 0xF57);
+  const auto checksum = original.checksum();
+  ASSERT_TRUE(original.write_to_file(dir + "/dataset.bin"));
+
+  posix::FileServerOptions server_options;
+  server_options.dir = dir;
+  server_options.catalog_port = 37400;  // control ports 37401..37432
+  server_options.max_stripes = 8;
+  server_options.quiet = true;
+  server_options.endpoint.timeout_ms = 30'000;
+  posix::FileServer server(server_options);
+  ASSERT_TRUE(server.start());
+
+  posix::FetchOptions fetch;
+  fetch.catalog_port = server_options.catalog_port;
+  fetch.name = "dataset.bin";
+  fetch.out_path = dir + "/fetched.bin";
+  fetch.data_port = 37440;
+  fetch.stripes = 4;
+  fetch.quiet = true;
+  fetch.endpoint.timeout_ms = 30'000;
+  const auto result = posix::fetch_file(fetch);
+  ASSERT_TRUE(result.completed()) << result.error;
+  EXPECT_EQ(result.stripes, 4);
+  EXPECT_FALSE(result.fallback_single_flow);
+  EXPECT_EQ(result.checksum, checksum);
+
+  // The same client against a server that refuses striping degrades to
+  // one flow and still verifies.
+  server.stop();
+  server_options.max_stripes = 1;
+  server_options.catalog_port = 37470;
+  posix::FileServer plain_server(server_options);
+  ASSERT_TRUE(plain_server.start());
+  fetch.catalog_port = server_options.catalog_port;
+  fetch.out_path = dir + "/fetched_plain.bin";
+  fetch.data_port = 37480;
+  const auto fallback = posix::fetch_file(fetch);
+  ASSERT_TRUE(fallback.completed()) << fallback.error;
+  EXPECT_TRUE(fallback.fallback_single_flow);
+  EXPECT_EQ(fallback.stripes, 1);
+  EXPECT_EQ(fallback.checksum, checksum);
+  plain_server.stop();
+}
+
+}  // namespace
+}  // namespace fobs
